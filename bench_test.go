@@ -1,0 +1,183 @@
+// Package repro holds the benchmark harness: one testing.B benchmark per
+// table/figure of the paper's evaluation. Each benchmark runs the
+// corresponding experiment at a bench-sized scale and reports the headline
+// metric of that figure through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates a (scaled) version of every number the paper plots. Use
+// `go run ./cmd/dshbench <figure>` for the full tables and `-full` for
+// paper scale.
+package repro
+
+import (
+	"testing"
+
+	"dsh/dshsim"
+	"dsh/units"
+)
+
+// benchOpt keeps benchmark iterations deterministic and silent.
+func benchOpt() dshsim.ExpOptions { return dshsim.ExpOptions{Seed: 1} }
+
+// BenchmarkFig04ChipTrends regenerates the Fig. 4 table (buffer and
+// headroom trends across Broadcom chip generations) and reports the final
+// generation's headroom fraction.
+func BenchmarkFig04ChipTrends(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rows := dshsim.Fig4(benchOpt())
+		frac = rows[len(rows)-1].HeadroomFraction
+	}
+	b.ReportMetric(100*frac, "headroom-%")
+}
+
+// BenchmarkTheoremBounds regenerates the Theorem 1/2 burst-absorption table
+// and reports the analytic DSH/SIH gain.
+func BenchmarkTheoremBounds(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows := dshsim.Theorem(benchOpt())
+		gain = rows[0].Gain
+	}
+	b.ReportMetric(gain, "gain-x")
+}
+
+// BenchmarkFig05FCTvsBuffer runs the smallest and largest buffer points of
+// the Fig. 5 sweep and reports the FCT inflation of the cramped buffer.
+func BenchmarkFig05FCTvsBuffer(b *testing.B) {
+	var inflation float64
+	for i := 0; i < b.N; i++ {
+		rows := dshsim.Fig5(benchOpt())
+		first, last := rows[0], rows[len(rows)-1]
+		inflation = 100 * (float64(first.AvgFCT)/float64(last.AvgFCT) - 1)
+	}
+	b.ReportMetric(inflation, "fct-inflation-%")
+}
+
+// BenchmarkFig06HeadroomUtil runs the headroom-utilization measurement and
+// reports the median local-maximum utilization (paper: ~5%).
+func BenchmarkFig06HeadroomUtil(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		res := dshsim.Fig6(benchOpt())
+		median = 100 * res.Utilization.Quantile(0.5)
+	}
+	b.ReportMetric(median, "median-util-%")
+}
+
+// BenchmarkFig11PFCAvoidance runs the burst sweep and reports the largest
+// burst (as % of buffer) each scheme absorbs without a single PAUSE;
+// the paper's headline is DSH ≈ 4× SIH.
+func BenchmarkFig11PFCAvoidance(b *testing.B) {
+	var sihMax, dshMax int
+	for i := 0; i < b.N; i++ {
+		sihMax, dshMax = 0, 0
+		for _, r := range dshsim.Fig11(benchOpt()) {
+			if r.SIHPaused == 0 && r.BurstPct > sihMax {
+				sihMax = r.BurstPct
+			}
+			if r.DSHPaused == 0 && r.BurstPct > dshMax {
+				dshMax = r.BurstPct
+			}
+		}
+	}
+	b.ReportMetric(float64(sihMax), "sih-max-burst-%")
+	b.ReportMetric(float64(dshMax), "dsh-max-burst-%")
+}
+
+// BenchmarkFig12Deadlock runs a reduced deadlock campaign and reports each
+// scheme's deadlock fraction under PowerTCP (paper: SIH 100%, DSH 0%).
+func BenchmarkFig12Deadlock(b *testing.B) {
+	var sih, dsh float64
+	for i := 0; i < b.N; i++ {
+		rows := dshsim.Fig12Reduced(benchOpt(), 3, 5*units.Millisecond)
+		for _, r := range rows {
+			if r.Transport != dshsim.TransportPowerTCP {
+				continue
+			}
+			if r.Scheme == dshsim.SIH {
+				sih = r.DeadlockFraction()
+			} else {
+				dsh = r.DeadlockFraction()
+			}
+		}
+	}
+	b.ReportMetric(100*sih, "sih-deadlock-%")
+	b.ReportMetric(100*dsh, "dsh-deadlock-%")
+}
+
+// BenchmarkFig13Collateral runs the collateral-damage scenario without
+// congestion control and reports the innocent flow's minimum goodput
+// during the burst (paper: SIH → ~0, DSH ≈ 50 Gbps).
+func BenchmarkFig13Collateral(b *testing.B) {
+	var sihMin, dshMin float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range dshsim.Fig13(benchOpt()) {
+			if r.Transport != dshsim.TransportNone {
+				continue
+			}
+			gbps := float64(r.MinDuringBurst()) / float64(units.Gbps)
+			if r.Scheme == dshsim.SIH {
+				sihMin = gbps
+			} else {
+				dshMin = gbps
+			}
+		}
+	}
+	b.ReportMetric(sihMin, "sih-F0-min-gbps")
+	b.ReportMetric(dshMin, "dsh-F0-min-gbps")
+}
+
+// BenchmarkFig14LoadSweep runs one mid-load point of the Fig. 14 sweep
+// under DCQCN and reports the DSH/SIH normalized fan-in FCT (<1 = DSH
+// wins; the paper reports up to 0.57).
+func BenchmarkFig14LoadSweep(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		pt := dshsim.LoadPointAt(benchOpt(), dshsim.TransportDCQCN, dshsim.WebSearch(), 0.6, "leafspine")
+		norm = pt.NormFanin()
+	}
+	b.ReportMetric(norm, "fanin-DSH/SIH")
+}
+
+// BenchmarkFig15Workloads runs one point of the Fig. 15 matrix (leaf–spine
+// + Hadoop, DCQCN) and reports the normalized background FCT.
+func BenchmarkFig15Workloads(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		pt := dshsim.LoadPointAt(benchOpt(), dshsim.TransportDCQCN, dshsim.Hadoop(), 0.6, "leafspine")
+		norm = pt.NormBg()
+	}
+	b.ReportMetric(norm, "bg-DSH/SIH")
+}
+
+// BenchmarkAblationInsurance runs the losslessness ablation and reports the
+// drop counts with and without DSH's port-level insurance.
+func BenchmarkAblationInsurance(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range dshsim.AblationInsurance(benchOpt()) {
+			if r.Variant == "DSH" {
+				with = float64(r.Drops)
+			} else {
+				without = float64(r.Drops)
+			}
+		}
+	}
+	b.ReportMetric(with, "dsh-drops")
+	b.ReportMetric(without, "noport-drops")
+}
+
+// BenchmarkAblationQueueCount reports the Theorem 1 remark in simulation:
+// largest pause-free burst at 8 classes for each scheme.
+func BenchmarkAblationQueueCount(b *testing.B) {
+	var sih, dsh float64
+	for i := 0; i < b.N; i++ {
+		rows := dshsim.AblationQueueCount(benchOpt())
+		last := rows[len(rows)-1] // 8 classes
+		sih, dsh = float64(last.SIHMaxPct), float64(last.DSHMaxPct)
+	}
+	b.ReportMetric(sih, "sih-burst-%@8q")
+	b.ReportMetric(dsh, "dsh-burst-%@8q")
+}

@@ -1,0 +1,240 @@
+// Command dshbench regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the rows/series the corresponding
+// figure plots.
+//
+// Usage:
+//
+//	dshbench [flags] <experiment>
+//
+// Experiments: fig4, fig5, fig6, fig11, fig12, fig13, fig14, fig15,
+// theorem, all.
+//
+// Flags:
+//
+//	-full    run at the paper's scale (much slower)
+//	-seed N  workload seed (default 1)
+//	-quiet   suppress progress lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dsh/dshsim"
+	"dsh/units"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scale")
+	seed := flag.Int64("seed", 1, "workload seed")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	opt := dshsim.ExpOptions{Full: *full, Seed: *seed}
+	if !*quiet {
+		opt.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	experiments := map[string]func(dshsim.ExpOptions){
+		"fig4":     runFig4,
+		"fig5":     runFig5,
+		"fig6":     runFig6,
+		"fig11":    runFig11,
+		"fig12":    runFig12,
+		"fig13":    runFig13,
+		"fig14":    runFig14,
+		"fig15":    runFig15,
+		"theorem":  runTheorem,
+		"fig10":    runFig10,
+		"ablation": runAblation,
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"fig4", "theorem", "fig10", "fig11", "fig13", "fig6", "fig5", "fig12", "fig14", "fig15", "ablation"} {
+			runOne(n, experiments[n], opt)
+		}
+		return
+	}
+	fn, ok := experiments[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		usage()
+		os.Exit(2)
+	}
+	runOne(name, fn, opt)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `dshbench regenerates the DSH paper's evaluation figures.
+
+usage: dshbench [-full] [-seed N] [-quiet] <experiment>
+
+experiments:
+  fig4     Broadcom chip buffer/headroom trends (table)
+  fig5     average FCT vs switch buffer size (SIH, PowerTCP, web search)
+  fig6     headroom utilization CDF at local maxima (SIH, DCQCN)
+  fig11    PFC avoidance: pause duration vs burst size (DSH vs SIH)
+  fig12    deadlock avoidance: onset CDF over repeated runs
+  fig13    collateral damage: innocent-flow goodput time series
+  fig14    FCT vs background load, DCQCN & PowerTCP (DSH/SIH normalized)
+  fig15    FCT across workloads and topologies (DCQCN)
+  theorem  Theorem 1/2 burst-absorption bounds vs fluid model
+  fig10    queue/threshold evolution of the burst-absorption analysis
+  ablation design-choice ablations (insurance headroom, DT α, queue count)
+  all      everything above
+`)
+}
+
+func runOne(name string, fn func(dshsim.ExpOptions), opt dshsim.ExpOptions) {
+	start := time.Now()
+	fmt.Printf("==== %s ====\n", name)
+	fn(opt)
+	fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func runFig4(opt dshsim.ExpOptions) {
+	fmt.Printf("%-10s %5s %10s %8s %14s %12s %9s\n",
+		"chip", "year", "capacity", "buffer", "buffer/capac.", "headroom", "fraction")
+	for _, r := range dshsim.Fig4(opt) {
+		fmt.Printf("%-10s %5d %10v %8v %14v %12v %8.1f%%\n",
+			r.Chip, r.Year, r.Capacity, r.Buffer, r.BufferPerCapacity,
+			r.HeadroomSize, 100*r.HeadroomFraction)
+	}
+}
+
+func runFig5(opt dshsim.ExpOptions) {
+	rows := dshsim.Fig5(opt)
+	fmt.Printf("%-10s %12s %10s %12s %10s\n", "buffer", "avg FCT", "vs widest", "p99 FCT", "pauses")
+	base := rows[len(rows)-1].AvgFCT
+	for _, r := range rows {
+		fmt.Printf("%-10v %12v %+9.1f%% %12v %10d\n", r.Buffer, r.AvgFCT,
+			100*(float64(r.AvgFCT)/float64(base)-1), r.P99FCT, r.PauseFrames)
+	}
+}
+
+func runFig6(opt dshsim.ExpOptions) {
+	res := dshsim.Fig6(opt)
+	cdf := res.Utilization
+	fmt.Printf("headroom-utilization local maxima: %d samples\n", cdf.Len())
+	for _, p := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		fmt.Printf("  p%-4g %6.2f%%\n", p*100, 100*cdf.Quantile(p))
+	}
+}
+
+func runFig11(opt dshsim.ExpOptions) {
+	fmt.Printf("%-12s %14s %14s\n", "burst(%buf)", "SIH paused", "DSH paused")
+	for _, r := range dshsim.Fig11(opt) {
+		fmt.Printf("%-12d %14v %14v\n", r.BurstPct, r.SIHPaused, r.DSHPaused)
+	}
+}
+
+func runFig12(opt dshsim.ExpOptions) {
+	fmt.Printf("%-6s %-9s %10s %12s %12s\n", "scheme", "cc", "deadlocks", "median onset", "p90 onset")
+	for _, r := range dshsim.Fig12(opt) {
+		med, p90 := "-", "-"
+		if len(r.Onsets) > 0 {
+			vals := make([]float64, len(r.Onsets))
+			for i, o := range r.Onsets {
+				vals[i] = o.Milliseconds()
+			}
+			cdf := dshsim.NewCDF(vals)
+			med = fmt.Sprintf("%.2fms", cdf.Quantile(0.5))
+			p90 = fmt.Sprintf("%.2fms", cdf.Quantile(0.9))
+		}
+		fmt.Printf("%-6s %-9s %6d/%-3d %12s %12s\n",
+			r.Scheme, r.Transport, r.Deadlocks, r.Runs, med, p90)
+	}
+}
+
+func runFig13(opt dshsim.ExpOptions) {
+	rows := dshsim.Fig13(opt)
+	for _, r := range rows {
+		fmt.Printf("%s/%s: burst at %v, min F0 goodput after burst %v\n",
+			r.Scheme, r.Transport, r.BurstAt, r.MinDuringBurst())
+	}
+	fmt.Println("\nF0 goodput series (Gbps per 10us bin, from 100us before burst):")
+	for _, r := range rows {
+		start := int(r.BurstAt/r.Bin) - 10
+		if start < 0 {
+			start = 0
+		}
+		fmt.Printf("%3s/%-9s", r.Scheme, r.Transport)
+		for i := start; i < len(r.Series) && i < start+60; i += 4 {
+			fmt.Printf(" %5.1f", float64(r.Series[i])/float64(units.Gbps))
+		}
+		fmt.Println()
+	}
+}
+
+func runFig14(opt dshsim.ExpOptions) {
+	for _, row := range dshsim.Fig14(opt) {
+		fmt.Printf("[%s]\n", row.Transport)
+		fmt.Printf("  %-8s %12s %12s %12s %12s\n", "bg load", "bg DSH/SIH", "fanin D/S", "SIH bg FCT", "DSH bg FCT")
+		for _, p := range row.Points {
+			fmt.Printf("  %-8.1f %12.3f %12.3f %12v %12v\n",
+				p.BgLoad, p.NormBg(), p.NormFanin(), p.SIHBg, p.DSHBg)
+		}
+	}
+}
+
+func runFig15(opt dshsim.ExpOptions) {
+	for _, row := range dshsim.Fig15(opt) {
+		fmt.Printf("[%s on %s]\n", row.Name, row.Topology)
+		fmt.Printf("  %-8s %12s %12s\n", "bg load", "bg DSH/SIH", "fanin D/S")
+		for _, p := range row.Points {
+			fmt.Printf("  %-8.1f %12.3f %12.3f\n", p.BgLoad, p.NormBg(), p.NormFanin())
+		}
+	}
+}
+
+func runFig10(opt dshsim.ExpOptions) {
+	for _, series := range dshsim.Fig10(opt) {
+		fmt.Printf("[%s, R=%.1f] pause at %.0f normalized bytes\n", series.Scheme, series.R, series.PauseAt)
+		fmt.Printf("  %-12s %12s %12s %12s %12s\n", "t(bytes)", "T(t)", "Xoff(t)", "q_congested", "q_burst")
+		pts := series.Points
+		stride := len(pts) / 8
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; i < len(pts); i += stride {
+			p := pts[i]
+			fmt.Printf("  %-12.0f %12.0f %12.0f %12.0f %12.0f\n", p.T, p.Threshold, p.XOff, p.QCongested, p.QBurst)
+		}
+	}
+}
+
+func runAblation(opt dshsim.ExpOptions) {
+	fmt.Println("insurance headroom (losslessness under shared-buffer exhaustion):")
+	fmt.Printf("  %-12s %8s %8s %10s\n", "variant", "drops", "pauses", "completed")
+	for _, r := range dshsim.AblationInsurance(opt) {
+		fmt.Printf("  %-12s %8d %8d %10d\n", r.Variant, r.Drops, r.PauseFrames, r.Completed)
+	}
+	fmt.Println("\nDT alpha sweep (largest pause-free burst, % of buffer):")
+	fmt.Printf("  %-8s %10s %10s\n", "alpha", "SIH", "DSH")
+	for _, r := range dshsim.AblationAlpha(opt) {
+		fmt.Printf("  %-8.4f %9d%% %9d%%\n", r.Alpha, r.SIHMaxPct, r.DSHMaxPct)
+	}
+	fmt.Println("\nqueue-count scalability (largest pause-free burst, % of buffer):")
+	fmt.Printf("  %-8s %10s %10s\n", "classes", "SIH", "DSH")
+	for _, r := range dshsim.AblationQueueCount(opt) {
+		fmt.Printf("  %-8d %9d%% %9d%%\n", r.Classes, r.SIHMaxPct, r.DSHMaxPct)
+	}
+}
+
+func runTheorem(opt dshsim.ExpOptions) {
+	fmt.Printf("%-6s %12s %12s %12s %12s %8s\n",
+		"R", "DSH bound", "SIH bound", "DSH fluid", "SIH fluid", "gain")
+	for _, r := range dshsim.Theorem(opt) {
+		fmt.Printf("%-6.1f %12v %12v %12v %12v %7.2fx\n",
+			r.R, r.DSHBound, r.SIHBound, r.DSHFluid, r.SIHFluid, r.Gain)
+	}
+}

@@ -1,0 +1,330 @@
+// Package dshsim is the public API of the DSH reproduction: it assembles
+// simulated PFC-enabled datacenter networks (via the internal packet-level
+// simulator), attaches a transport (none / DCQCN / PowerTCP), runs a flow
+// schedule, and reports the paper's metrics.
+//
+// Quick start:
+//
+//	cfg := dshsim.NetworkConfig{Scheme: dshsim.DSH}
+//	net := dshsim.NewSingleSwitch(cfg, 18, 100*units.Gbps)
+//	res := dshsim.Run(net, dshsim.RunConfig{
+//	    Duration:  5 * units.Millisecond,
+//	    Specs:     specs, // e.g. from dshsim.Incast / dshsim.Background
+//	})
+//	fmt.Println(res.FCT.Avg("fanin"))
+package dshsim
+
+import (
+	"fmt"
+
+	"dsh/internal/metrics"
+	"dsh/internal/packet"
+	"dsh/internal/sim"
+	"dsh/internal/switchdev"
+	"dsh/internal/topology"
+	"dsh/internal/transport"
+	"dsh/internal/transport/dcqcn"
+	"dsh/internal/transport/powertcp"
+	"dsh/internal/workload"
+	"dsh/units"
+)
+
+// Scheme selects the headroom allocation scheme.
+type Scheme = topology.Scheme
+
+// The two schemes the paper compares.
+const (
+	SIH = topology.SIH
+	DSH = topology.DSH
+)
+
+// TransportKind selects the congestion control algorithm.
+type TransportKind string
+
+// Supported transports.
+const (
+	// TransportNone sends at line rate (PFC is the only brake).
+	TransportNone TransportKind = "none"
+	// TransportDCQCN enables switch ECN marking, receiver CNPs, and the
+	// DCQCN rate controller.
+	TransportDCQCN TransportKind = "dcqcn"
+	// TransportPowerTCP enables switch INT stamping and the PowerTCP
+	// window controller.
+	TransportPowerTCP TransportKind = "powertcp"
+)
+
+// Network re-exports the assembled topology type.
+type Network = topology.Network
+
+// NetworkConfig mirrors the knobs of the §V evaluation.
+type NetworkConfig struct {
+	// Scheme is the headroom scheme (default DSH).
+	Scheme Scheme
+	// Transport decides the switch features (ECN marking for DCQCN, INT
+	// stamping for PowerTCP) and which controller flows get in Run.
+	Transport TransportKind
+	// Buffer is the per-switch lossless pool (default 16 MB when
+	// BufferPerCapacity is also zero).
+	Buffer units.ByteSize
+	// BufferPerCapacity sizes each switch's buffer proportionally to its
+	// aggregate port capacity when Buffer is zero (e.g. 40 µs ≈ Tomahawk).
+	BufferPerCapacity units.Time
+	// SIHReservedFraction sizes each switch's buffer so the SIH worst-case
+	// reservation is this fraction of it (the paper's 32-port Tomahawk
+	// leaf: ~0.84). Used when Buffer and BufferPerCapacity are zero.
+	SIHReservedFraction float64
+
+	// bufferHook is the experiments' role-aware buffer sizing (unexported;
+	// reachable only from this package).
+	bufferHook func(name string, sihReservation units.ByteSize, capacity units.BitRate) units.ByteSize
+	// Alpha is the DT parameter (default 1/16).
+	Alpha float64
+	// LinkDelay is the uniform propagation delay (default 2 µs).
+	LinkDelay units.Time
+	// BaseRTT is the fabric base RTT used by PowerTCP (default 16 µs).
+	BaseRTT units.Time
+	// DisablePortLevel is the DSH ablation knob: it removes the port-level
+	// flow control and insurance headroom, demonstrating they are required
+	// for losslessness (see the ablation experiments).
+	DisablePortLevel bool
+	// Seed drives every random choice (ECN coin flips).
+	Seed int64
+}
+
+// build converts the public config into the internal topology config.
+func (nc NetworkConfig) build(s *sim.Simulator, done func(*transport.Flow)) topology.Config {
+	cfg := topology.Config{
+		Sim:                 s,
+		Scheme:              nc.Scheme,
+		Buffer:              nc.Buffer,
+		BufferPerCapacity:   nc.BufferPerCapacity,
+		SIHReservedFraction: nc.SIHReservedFraction,
+		BufferFor:           nc.bufferHook,
+		Alpha:               nc.Alpha,
+		DisablePortLevel:    nc.DisablePortLevel,
+		LinkDelay:           nc.LinkDelay,
+		Seed:                nc.Seed,
+
+		OnFlowDone: done,
+	}
+	switch nc.Transport {
+	case TransportDCQCN:
+		cfg.ECN = &switchdev.ECNConfig{KMin: 100 * units.KB, KMax: 400 * units.KB, PMax: 0.2}
+		cfg.CNPInterval = 50 * units.Microsecond
+	case TransportPowerTCP:
+		cfg.INT = true
+	case TransportNone, "":
+	default:
+		panic(fmt.Sprintf("dshsim: unknown transport %q", nc.Transport))
+	}
+	return cfg
+}
+
+func (nc NetworkConfig) baseRTT() units.Time {
+	if nc.BaseRTT > 0 {
+		return nc.BaseRTT
+	}
+	return 16 * units.Microsecond
+}
+
+// runState carries the deferred flow-done hook between New* and Run; it
+// lives in the network's UserData slot.
+type runState struct {
+	done func(*transport.Flow)
+	nc   NetworkConfig
+	ran  bool
+}
+
+func newNet(nc NetworkConfig, build func(topology.Config) *Network) *Network {
+	s := sim.New()
+	st := &runState{nc: nc}
+	cfg := nc.build(s, func(f *transport.Flow) {
+		if st.done != nil {
+			st.done(f)
+		}
+	})
+	n := build(cfg)
+	n.UserData = st
+	return n
+}
+
+// NewSingleSwitch builds the Fig. 11a unit: one switch, one host per port.
+func NewSingleSwitch(nc NetworkConfig, hosts int, rate units.BitRate) *Network {
+	return newNet(nc, func(cfg topology.Config) *Network {
+		return topology.SingleSwitch(cfg, hosts, rate)
+	})
+}
+
+// CollateralDamage re-exports the Fig. 13a unit.
+type CollateralDamage = topology.CollateralDamage
+
+// NewCollateralUnit builds the Fig. 13a unit.
+func NewCollateralUnit(nc NetworkConfig, fanIn int, rate units.BitRate) *CollateralDamage {
+	var cd *CollateralDamage
+	newNet(nc, func(cfg topology.Config) *Network {
+		cd = topology.CollateralUnit(cfg, fanIn, rate)
+		return cd.Network
+	})
+	return cd
+}
+
+// DeadlockTopo re-exports the Fig. 12a topology.
+type DeadlockTopo = topology.DeadlockTopo
+
+// NewDeadlock builds the Fig. 12a topology (failed links included).
+func NewDeadlock(nc NetworkConfig, hostsPerLeaf int, downRate, upRate units.BitRate) *DeadlockTopo {
+	var dt *DeadlockTopo
+	newNet(nc, func(cfg topology.Config) *Network {
+		dt = topology.Deadlock(cfg, hostsPerLeaf, downRate, upRate)
+		return dt.Network
+	})
+	return dt
+}
+
+// LeafSpineTopo re-exports the §V-B fabric.
+type LeafSpineTopo = topology.LeafSpineTopo
+
+// NewLeafSpine builds a leaf–spine fabric.
+func NewLeafSpine(nc NetworkConfig, leaves, spines, hostsPerLeaf int, downRate, upRate units.BitRate) *LeafSpineTopo {
+	var ls *LeafSpineTopo
+	newNet(nc, func(cfg topology.Config) *Network {
+		ls = topology.LeafSpine(cfg, leaves, spines, hostsPerLeaf, downRate, upRate)
+		return ls.Network
+	})
+	return ls
+}
+
+// FatTreeTopo re-exports the fat-tree.
+type FatTreeTopo = topology.FatTreeTopo
+
+// NewFatTree builds a k-ary fat-tree.
+func NewFatTree(nc NetworkConfig, k int, rate units.BitRate) *FatTreeTopo {
+	var ft *FatTreeTopo
+	newNet(nc, func(cfg topology.Config) *Network {
+		ft = topology.FatTree(cfg, k, rate)
+		return ft.Network
+	})
+	return ft
+}
+
+// RunConfig drives one simulation.
+type RunConfig struct {
+	// Specs is the flow schedule (see Background/Incast generators).
+	Specs []workload.FlowSpec
+	// Duration is the simulated horizon; flows still running then are
+	// reported as unfinished.
+	Duration units.Time
+	// Drain keeps the simulation running past Duration (up to DrainCap,
+	// default 4×Duration) until every flow completes. FCT averages are
+	// biased without it: the slowest flows would be the ones excluded.
+	Drain bool
+	// DrainCap bounds the drain phase.
+	DrainCap units.Time
+	// OnFlowDone is an optional per-completion hook (metrics are always
+	// collected regardless).
+	OnFlowDone func(f *Flow)
+}
+
+// Flow re-exports the transport flow for hooks and custom schedules.
+type Flow = transport.Flow
+
+// Result reports one run.
+type Result struct {
+	// FCT holds completions grouped by flow tag.
+	FCT *metrics.FCTCollector
+	// Drops counts lossless admission failures (should stay 0).
+	Drops int64
+	// PauseFrames counts PAUSE transitions received by host uplinks.
+	PauseFrames int64
+	// HostPausedTime sums pause durations experienced by host uplinks
+	// (queue-level of all classes plus port-level).
+	HostPausedTime units.Time
+	// Unfinished counts flows still incomplete at the horizon.
+	Unfinished int
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+// Run executes a flow schedule on a network built by one of the New*
+// constructors and returns the collected metrics. The network can only be
+// run once (the simulator is not resettable).
+func Run(net *Network, rc RunConfig) *Result {
+	st, ok := net.UserData.(*runState)
+	if !ok {
+		panic("dshsim: Run on a network not built by dshsim.New*")
+	}
+	if st.ran {
+		panic("dshsim: a network can only be run once")
+	}
+	st.ran = true
+
+	factory := newFactory(net, st.nc.Transport, st.nc.baseRTT())
+
+	res := &Result{FCT: metrics.NewFCTCollector()}
+	started := 0
+	st.done = func(f *transport.Flow) {
+		res.FCT.Record(f)
+		if rc.OnFlowDone != nil {
+			rc.OnFlowDone(f)
+		}
+	}
+	for _, sp := range rc.Specs {
+		f := &transport.Flow{
+			ID: sp.ID, Src: sp.Src, Dst: sp.Dst,
+			Class: sp.Class, Size: sp.Size, Start: sp.Start, Tag: sp.Tag,
+			FinishedAt: -1,
+		}
+		f.CC = factory(f)
+		net.AddFlow(f)
+		started++
+	}
+	net.Sim.RunUntil(rc.Duration)
+	if rc.Drain {
+		deadline := rc.DrainCap
+		if deadline <= 0 {
+			deadline = 4 * rc.Duration
+		}
+		step := rc.Duration / 20
+		if step <= 0 {
+			step = units.Millisecond
+		}
+		for res.FCT.Count("") < started && net.Sim.Now() < deadline {
+			net.Sim.RunUntil(net.Sim.Now() + step)
+		}
+	}
+	res.Drops = net.Drops()
+	for _, h := range net.Hosts {
+		p := h.Port()
+		res.PauseFrames += p.PauseFrames()
+		res.HostPausedTime += p.PortPausedTime()
+		for c := 0; c < p.Classes(); c++ {
+			res.HostPausedTime += p.ClassPausedTime(packet.Class(c))
+		}
+	}
+	res.Unfinished = started - res.FCT.Count("")
+	res.Events = net.Sim.Processed()
+	return res
+}
+
+// newFactory builds the per-flow controller factory for a transport kind.
+func newFactory(net *Network, kind TransportKind, baseRTT units.Time) transport.Factory {
+	switch kind {
+	case TransportNone, "":
+		lr := transport.NewLineRate()
+		return func(*transport.Flow) transport.CongestionControl { return lr }
+	case TransportDCQCN:
+		return func(f *transport.Flow) transport.CongestionControl {
+			rate := net.Hosts[f.Src].Port().Rate()
+			p := dcqcn.DefaultParams(rate)
+			p.WindowCap = units.BandwidthDelayProduct(rate, baseRTT)
+			return dcqcn.New(net.Sim, p)
+		}
+	case TransportPowerTCP:
+		return func(f *transport.Flow) transport.CongestionControl {
+			rate := net.Hosts[f.Src].Port().Rate()
+			return powertcp.New(powertcp.DefaultParams(rate, baseRTT))
+		}
+	default:
+		panic(fmt.Sprintf("dshsim: unknown transport %q", kind))
+	}
+}

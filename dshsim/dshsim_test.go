@@ -1,0 +1,216 @@
+package dshsim
+
+import (
+	"testing"
+
+	"dsh/units"
+)
+
+func specsIncast(n int, size units.ByteSize, dst int) []FlowSpec {
+	specs := make([]FlowSpec, n)
+	for i := range specs {
+		specs[i] = FlowSpec{ID: i + 1, Src: i, Dst: dst, Size: size, Class: 0, Tag: "incast"}
+	}
+	return specs
+}
+
+func TestRunSingleSwitchEndToEnd(t *testing.T) {
+	net := NewSingleSwitch(NetworkConfig{Scheme: DSH, Seed: 1}, 6, 100*units.Gbps)
+	res := Run(net, RunConfig{
+		Specs:    specsIncast(4, 100*units.KB, 5),
+		Duration: 5 * units.Millisecond,
+	})
+	if res.FCT.Count("incast") != 4 {
+		t.Fatalf("completed %d, want 4", res.FCT.Count("incast"))
+	}
+	if res.Drops != 0 || res.Unfinished != 0 {
+		t.Errorf("drops=%d unfinished=%d", res.Drops, res.Unfinished)
+	}
+	if res.Events == 0 {
+		t.Error("no events processed")
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	net := NewSingleSwitch(NetworkConfig{}, 3, units.Gbps)
+	Run(net, RunConfig{Duration: units.Microsecond})
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run must panic")
+		}
+	}()
+	Run(net, RunConfig{Duration: units.Microsecond})
+}
+
+func TestRunOnForeignNetworkRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Run(&Network{}, RunConfig{})
+}
+
+func TestUnknownTransportRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSingleSwitch(NetworkConfig{Transport: "bogus"}, 2, units.Gbps)
+}
+
+func TestTransportsCompleteFlows(t *testing.T) {
+	for _, tr := range []TransportKind{TransportNone, TransportDCQCN, TransportPowerTCP} {
+		t.Run(string(tr), func(t *testing.T) {
+			net := NewSingleSwitch(NetworkConfig{Scheme: DSH, Transport: tr, Seed: 1}, 6, 100*units.Gbps)
+			res := Run(net, RunConfig{
+				Specs:    specsIncast(4, 200*units.KB, 5),
+				Duration: 20 * units.Millisecond,
+			})
+			if res.FCT.Count("") != 4 {
+				t.Fatalf("completed %d/4", res.FCT.Count(""))
+			}
+			if res.Drops != 0 {
+				t.Errorf("drops = %d", res.Drops)
+			}
+		})
+	}
+}
+
+func TestDrainCompletesStragglers(t *testing.T) {
+	// A flow that cannot finish within Duration must finish in the drain
+	// phase.
+	net := NewSingleSwitch(NetworkConfig{Seed: 1}, 3, units.Gbps)
+	size := units.BytesInTime(2*units.Millisecond, units.Gbps)
+	res := Run(net, RunConfig{
+		Specs:    []FlowSpec{{ID: 1, Src: 0, Dst: 2, Size: size, Class: 0, Tag: "big"}},
+		Duration: units.Millisecond,
+		Drain:    true,
+	})
+	if res.Unfinished != 0 {
+		t.Errorf("drain did not finish the flow")
+	}
+}
+
+func TestDrainCapBounds(t *testing.T) {
+	net := NewSingleSwitch(NetworkConfig{Seed: 1}, 3, units.Gbps)
+	size := units.BytesInTime(100*units.Millisecond, units.Gbps)
+	res := Run(net, RunConfig{
+		Specs:    []FlowSpec{{ID: 1, Src: 0, Dst: 2, Size: size, Class: 0, Tag: "huge"}},
+		Duration: units.Millisecond,
+		Drain:    true,
+		DrainCap: 2 * units.Millisecond,
+	})
+	if res.Unfinished != 1 {
+		t.Errorf("drain cap not respected: unfinished=%d", res.Unfinished)
+	}
+}
+
+func TestOnFlowDoneHook(t *testing.T) {
+	net := NewSingleSwitch(NetworkConfig{Seed: 1}, 3, 100*units.Gbps)
+	var ids []int
+	Run(net, RunConfig{
+		Specs:      specsIncast(2, 10*units.KB, 2),
+		Duration:   time5ms(),
+		OnFlowDone: func(f *Flow) { ids = append(ids, f.ID) },
+	})
+	if len(ids) != 2 {
+		t.Errorf("hook fired %d times, want 2", len(ids))
+	}
+}
+
+func time5ms() units.Time { return 5 * units.Millisecond }
+
+func TestSchemePairedComparison(t *testing.T) {
+	// The facade's core promise: identical specs, different scheme, and
+	// DSH produces no more pauses than SIH on a fan-in burst.
+	mk := func(scheme Scheme) *Result {
+		net := NewSingleSwitch(NetworkConfig{Scheme: scheme, Seed: 1}, 18, 100*units.Gbps)
+		return Run(net, RunConfig{
+			Specs:    specsIncast(16, 400*units.KB, 17),
+			Duration: 10 * units.Millisecond,
+		})
+	}
+	sih, dsh := mk(SIH), mk(DSH)
+	if sih.PauseFrames == 0 {
+		t.Error("SIH absorbed a 6.4MB incast without pausing")
+	}
+	if dsh.PauseFrames > sih.PauseFrames {
+		t.Errorf("DSH paused more than SIH: %d > %d", dsh.PauseFrames, sih.PauseFrames)
+	}
+	if sih.Drops != 0 || dsh.Drops != 0 {
+		t.Error("losslessness violated")
+	}
+}
+
+func TestNewLeafSpineViaFacade(t *testing.T) {
+	ls := NewLeafSpine(NetworkConfig{Scheme: DSH, Seed: 1}, 2, 2, 2, 100*units.Gbps, 100*units.Gbps)
+	res := Run(ls.Network, RunConfig{
+		Specs: []FlowSpec{
+			{ID: 1, Src: ls.LeafHosts[0][0], Dst: ls.LeafHosts[1][1], Size: 50 * units.KB, Class: 0, Tag: "x"},
+		},
+		Duration: 5 * units.Millisecond,
+	})
+	if res.FCT.Count("x") != 1 {
+		t.Error("cross-rack flow did not complete")
+	}
+}
+
+func TestBufferPerCapacitySizing(t *testing.T) {
+	// A 4-port 100G switch at 40us/bit holds 40us*400G = 2MB of buffer; the
+	// MMU must reflect that.
+	net := NewSingleSwitch(NetworkConfig{
+		Scheme: DSH, BufferPerCapacity: 40 * units.Microsecond, Seed: 1,
+	}, 4, 100*units.Gbps)
+	cfg := net.Switches[0].MMU().Config()
+	want := units.BytesInTime(40*units.Microsecond, 400*units.Gbps)
+	if cfg.TotalBuffer != want {
+		t.Errorf("buffer = %v, want %v", cfg.TotalBuffer, want)
+	}
+}
+
+func TestFig4AndTheoremFast(t *testing.T) {
+	if rows := Fig4(ExpOptions{}); len(rows) != 5 {
+		t.Errorf("Fig4 rows = %d", len(rows))
+	}
+	rows := Theorem(ExpOptions{Seed: 1})
+	if len(rows) == 0 {
+		t.Fatal("no theorem rows")
+	}
+	for _, r := range rows {
+		if r.DSHBound <= r.SIHBound {
+			t.Errorf("R=%v: DSH bound %v not above SIH %v", r.R, r.DSHBound, r.SIHBound)
+		}
+		if r.Gain < 2 {
+			t.Errorf("R=%v: gain %v below 2", r.R, r.Gain)
+		}
+		// Fluid must agree with closed form within 5%.
+		for _, pair := range [][2]units.Time{{r.DSHBound, r.DSHFluid}, {r.SIHBound, r.SIHFluid}} {
+			ratio := float64(pair[1]) / float64(pair[0])
+			if ratio < 0.95 || ratio > 1.05 {
+				t.Errorf("R=%v: fluid/closed = %.3f", r.R, ratio)
+			}
+		}
+	}
+}
+
+func TestWorkloadReexports(t *testing.T) {
+	for _, d := range []*SizeDist{WebSearch(), DataMining(), Cache(), Hadoop()} {
+		if d.Mean() <= 0 {
+			t.Errorf("%s mean = %d", d.Name(), d.Mean())
+		}
+	}
+	if _, err := WorkloadByName("websearch"); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("bad name accepted")
+	}
+	if len(BroadcomChips()) != 5 {
+		t.Error("chip table changed")
+	}
+	if NewCDF([]float64{1, 2, 3}).Quantile(0.5) != 2 {
+		t.Error("CDF re-export broken")
+	}
+}

@@ -1,0 +1,177 @@
+package dshsim
+
+import (
+	"dsh/internal/topology"
+	"dsh/units"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out. They are
+// not figures from the paper; they probe *why* DSH is built the way it is.
+
+// AblationInsuranceRow reports the lossless-guarantee ablation: DSH with
+// and without the port-level flow control + insurance headroom, under an
+// all-ports burst designed to physically exhaust the shared segment.
+type AblationInsuranceRow struct {
+	Variant     string // "DSH" or "DSH-noport"
+	Drops       int64
+	PauseFrames int64
+	Completed   int
+}
+
+// AblationInsurance slams every port of a switch with multi-class bursts
+// under a large DT α (so queue-level thresholds are loose). Full DSH must
+// absorb the overload into insurance headroom via port-level pauses; the
+// ablated variant without insurance drops packets, demonstrating that the
+// queue-level mechanism alone cannot guarantee losslessness.
+func AblationInsurance(opt ExpOptions) []AblationInsuranceRow {
+	const (
+		hosts = 18
+		rate  = 100 * units.Gbps
+	)
+	var rows []AblationInsuranceRow
+	for _, disable := range []bool{false, true} {
+		nc := NetworkConfig{
+			Scheme:           DSH,
+			Transport:        TransportNone,
+			Buffer:           4 * units.MB, // cramped buffer
+			Alpha:            4,            // DT barely restrains queues
+			DisablePortLevel: disable,
+			Seed:             opt.Seed,
+		}
+		net := NewSingleSwitch(nc, hosts, rate)
+		// 16 senders × 4 classes, all into one port: ~6 MB offered against
+		// a 4 MB buffer.
+		var specs []FlowSpec
+		id := 1
+		for i := 0; i < 16; i++ {
+			for c := 0; c < 4; c++ {
+				specs = append(specs, FlowSpec{
+					ID: id, Src: i, Dst: 17, Size: 96 * units.KB,
+					Class: Class(c), Tag: "burst",
+				})
+				id++
+			}
+		}
+		res := Run(net, RunConfig{Specs: specs, Duration: 20 * units.Millisecond})
+		name := "DSH"
+		if disable {
+			name = "DSH-noport"
+		}
+		rows = append(rows, AblationInsuranceRow{
+			Variant:     name,
+			Drops:       res.Drops,
+			PauseFrames: res.PauseFrames,
+			Completed:   res.FCT.Count("burst"),
+		})
+		opt.logf("ablation-insurance: %-10s drops %d  pauses %d  completed %d/%d",
+			name, res.Drops, res.PauseFrames, res.FCT.Count("burst"), len(specs))
+	}
+	return rows
+}
+
+// AblationAlphaRow reports burst absorption for one DT α value.
+type AblationAlphaRow struct {
+	Alpha float64
+	// MaxPauseFreeBurstPct is the largest burst (% of buffer) absorbed
+	// without any PAUSE, per scheme (0 when even the smallest probed burst
+	// pauses).
+	SIHMaxPct int
+	DSHMaxPct int
+}
+
+// AblationAlpha sweeps the DT control parameter: larger α lets queues take
+// more of the free buffer, improving burst absorption for both schemes,
+// with DSH keeping its advantage throughout.
+func AblationAlpha(opt ExpOptions) []AblationAlphaRow {
+	alphas := []float64{1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1}
+	var rows []AblationAlphaRow
+	for _, a := range alphas {
+		row := AblationAlphaRow{Alpha: a}
+		for _, pct := range []int{5, 10, 20, 30, 40, 50, 60, 70} {
+			if pauseFreeBurst(opt, SIH, a, 8, pct) {
+				row.SIHMaxPct = pct
+			}
+			if pauseFreeBurst(opt, DSH, a, 8, pct) {
+				row.DSHMaxPct = pct
+			}
+		}
+		opt.logf("ablation-alpha: α=%-6.4f SIH ≤%d%%  DSH ≤%d%%", a, row.SIHMaxPct, row.DSHMaxPct)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AblationQueueCountRow reports burst absorption versus the number of
+// priority classes per port.
+type AblationQueueCountRow struct {
+	Classes   int // total classes (one reserved for ACKs)
+	SIHMaxPct int
+	DSHMaxPct int
+}
+
+// AblationQueueCount validates the Theorem 1 remark in simulation: SIH's
+// burst absorption degrades as the per-port queue count grows (its static
+// reservation scales with Nq), while DSH's is unaffected — the property
+// that lets DSH support many service classes.
+func AblationQueueCount(opt ExpOptions) []AblationQueueCountRow {
+	var rows []AblationQueueCountRow
+	for _, classes := range []int{3, 5, 8} {
+		row := AblationQueueCountRow{Classes: classes}
+		for _, pct := range []int{5, 10, 20, 30, 40, 50} {
+			if pauseFreeBurst(opt, SIH, 1.0/16, classes, pct) {
+				row.SIHMaxPct = pct
+			}
+			if pauseFreeBurst(opt, DSH, 1.0/16, classes, pct) {
+				row.DSHMaxPct = pct
+			}
+		}
+		opt.logf("ablation-queues: classes=%d SIH ≤%d%%  DSH ≤%d%%", classes, row.SIHMaxPct, row.DSHMaxPct)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// pauseFreeBurst runs a Fig. 11-style 16-way fan-in burst of the given size
+// (% of buffer) and reports whether the fan-in hosts saw zero pauses.
+// Larger bursts imply pauses for smaller ones, so callers can take the max
+// over an increasing probe sequence.
+func pauseFreeBurst(opt ExpOptions, scheme Scheme, alpha float64, classes int, burstPct int) bool {
+	const (
+		hosts  = 32
+		rate   = 100 * units.Gbps
+		buffer = 16 * units.MB
+	)
+	net := newNet(NetworkConfig{
+		Scheme: scheme, Transport: TransportNone, Buffer: buffer,
+		Alpha: alpha, Seed: opt.Seed,
+	}, func(cfg topology.Config) *Network {
+		cfg.Classes = classes
+		cfg.AckClass = classes - 1
+		return topology.SingleSwitch(cfg, hosts, rate)
+	})
+
+	burstTotal := units.ByteSize(float64(buffer) * float64(burstPct) / 100)
+	perSender := burstTotal / 16
+	burstAt := 500 * units.Microsecond
+	horizon := burstAt + 3*units.TransmissionTime(burstTotal, rate) + 2*units.Millisecond
+
+	bgSize := units.BytesInTime(2*horizon, rate)
+	specs := []FlowSpec{
+		{ID: 1, Src: 0, Dst: 31, Size: bgSize, Class: 1, Tag: "background"},
+		{ID: 2, Src: 1, Dst: 31, Size: bgSize, Class: 1, Tag: "background"},
+	}
+	for i := 0; i < 16; i++ {
+		specs = append(specs, FlowSpec{
+			ID: 10 + i, Src: 2 + i, Dst: 30, Size: perSender,
+			Start: burstAt, Class: 0, Tag: "fanin",
+		})
+	}
+	Run(net, RunConfig{Specs: specs, Duration: horizon})
+	for i := 2; i <= 17; i++ {
+		p := net.Hosts[i].Port()
+		if p.ClassPausedTime(0) > 0 || p.PortPausedTime() > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,323 @@
+package dshsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsh/internal/metrics"
+	"dsh/internal/workload"
+	"dsh/units"
+)
+
+// ExpOptions scales the experiment harnesses between laptop-sized defaults
+// and the paper's full scale.
+type ExpOptions struct {
+	// Full reproduces the paper's scale (256-host fabrics, 100 ms runs,
+	// 100 repetitions); the default is a reduced configuration that
+	// preserves the DSH-vs-SIH shape and finishes in seconds to minutes.
+	Full bool
+	// Seed drives workload generation and tie-break randomness.
+	Seed int64
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o ExpOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Fig11Row is one point of Fig. 11b: the total PFC pause duration suffered
+// by the fan-in senders as a function of burst size.
+type Fig11Row struct {
+	BurstPct  int // burst size as % of buffer size
+	SIHPaused units.Time
+	DSHPaused units.Time
+}
+
+// Fig11 reproduces the PFC-avoidance microbenchmark (Fig. 11): a Tomahawk
+// switch (32×100 GbE, 16 MB), two long-lived background flows into port 31,
+// and 16 simultaneous fan-in bursts from ports 2–17 into port 30. It
+// reports the total pause duration experienced by the fan-in hosts per
+// burst size.
+func Fig11(opt ExpOptions) []Fig11Row {
+	fractions := []int{5, 10, 20, 30, 40, 50, 60}
+	if !opt.Full {
+		fractions = []int{5, 10, 20, 30, 40, 50}
+	}
+	rows := make([]Fig11Row, len(fractions))
+	for i, pct := range fractions {
+		rows[i].BurstPct = pct
+		for _, scheme := range []Scheme{SIH, DSH} {
+			paused := fig11Run(scheme, pct, opt)
+			if scheme == SIH {
+				rows[i].SIHPaused = paused
+			} else {
+				rows[i].DSHPaused = paused
+			}
+		}
+		opt.logf("fig11: burst %2d%%  SIH %v  DSH %v", pct, rows[i].SIHPaused, rows[i].DSHPaused)
+	}
+	return rows
+}
+
+func fig11Run(scheme Scheme, burstPct int, opt ExpOptions) units.Time {
+	const (
+		hosts  = 32
+		rate   = 100 * units.Gbps
+		buffer = 16 * units.MB
+	)
+	nc := NetworkConfig{Scheme: scheme, Transport: TransportNone, Buffer: buffer, Seed: opt.Seed}
+	net := NewSingleSwitch(nc, hosts, rate)
+
+	burstTotal := units.ByteSize(float64(buffer) * float64(burstPct) / 100)
+	perSender := burstTotal / 16
+	burstAt := 1 * units.Millisecond
+	// Drain time of the full burst at line rate plus generous slack.
+	horizon := burstAt + 4*units.TransmissionTime(burstTotal, rate) + 4*units.Millisecond
+
+	var specs []FlowSpec
+	// Background flows: ports 0 and 1 to port 31, long-lived (never finish).
+	bgSize := units.BytesInTime(2*horizon, rate)
+	specs = append(specs,
+		FlowSpec{ID: 1, Src: 0, Dst: 31, Size: bgSize, Start: 0, Class: 1, Tag: "background"},
+		FlowSpec{ID: 2, Src: 1, Dst: 31, Size: bgSize, Start: 0, Class: 1, Tag: "background"},
+	)
+	for i := 0; i < 16; i++ {
+		specs = append(specs, FlowSpec{
+			ID: 10 + i, Src: 2 + i, Dst: 30, Size: perSender,
+			Start: burstAt, Class: 0, Tag: "fanin",
+		})
+	}
+	res := Run(net, RunConfig{Specs: specs, Duration: horizon})
+	if res.Drops > 0 {
+		panic(fmt.Sprintf("dshsim: fig11 violated losslessness (%d drops, scheme %s)", res.Drops, scheme))
+	}
+	var paused units.Time
+	for i := 2; i <= 17; i++ {
+		p := net.Hosts[i].Port()
+		paused += p.ClassPausedTime(0) + p.PortPausedTime()
+	}
+	return paused
+}
+
+// Fig12Row summarises deadlock behaviour for one scheme/transport pair.
+type Fig12Row struct {
+	Scheme    Scheme
+	Transport TransportKind
+	Runs      int
+	Deadlocks int
+	// Onsets are the deadlock onset times of the deadlocked runs.
+	Onsets []units.Time
+}
+
+// DeadlockFraction returns the share of runs that deadlocked.
+func (r Fig12Row) DeadlockFraction() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Deadlocks) / float64(r.Runs)
+}
+
+// Fig12 reproduces the deadlock-avoidance experiment (Fig. 12): the
+// 2-spine/4-leaf topology with failed links S0–L3 and S1–L0, fan-in flows
+// between leaf pairs (L0↔L3, L1↔L2) with Hadoop sizes at load 0.5, and a
+// cyclic-buffer-dependency detector. It reports deadlock counts and onset
+// times per scheme and transport.
+func Fig12(opt ExpOptions) []Fig12Row {
+	// Reduced scale keeps the paper's 2:1 leaf oversubscription and sizes
+	// buffers by capacity so the pause pressure matches the full setup.
+	runs, hostsPerLeaf, duration, upRate := 10, 4, 10*units.Millisecond, 100*units.Gbps
+	if opt.Full {
+		runs, hostsPerLeaf, duration, upRate = 100, 16, 100*units.Millisecond, 400*units.Gbps
+	}
+	var rows []Fig12Row
+	for _, tr := range []TransportKind{TransportDCQCN, TransportPowerTCP} {
+		for _, scheme := range []Scheme{SIH, DSH} {
+			row := Fig12Row{Scheme: scheme, Transport: tr, Runs: runs}
+			for i := 0; i < runs; i++ {
+				onset := fig12Run(scheme, tr, hostsPerLeaf, upRate, duration, opt.Seed+int64(i)*977)
+				if onset >= 0 {
+					row.Deadlocks++
+					row.Onsets = append(row.Onsets, onset)
+				}
+			}
+			opt.logf("fig12: %s/%-8s deadlocks %d/%d", scheme, tr, row.Deadlocks, row.Runs)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// Fig12Reduced runs the deadlock campaign with an explicit repetition count
+// and duration (used by the bench harness for quick paired comparisons).
+func Fig12Reduced(opt ExpOptions, runs int, duration units.Time) []Fig12Row {
+	var rows []Fig12Row
+	for _, tr := range []TransportKind{TransportDCQCN, TransportPowerTCP} {
+		for _, scheme := range []Scheme{SIH, DSH} {
+			row := Fig12Row{Scheme: scheme, Transport: tr, Runs: runs}
+			for i := 0; i < runs; i++ {
+				onset := fig12Run(scheme, tr, 4, 100*units.Gbps, duration, opt.Seed+int64(i)*977)
+				if onset >= 0 {
+					row.Deadlocks++
+					row.Onsets = append(row.Onsets, onset)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func fig12Run(scheme Scheme, tr TransportKind, hostsPerLeaf int, upRate units.BitRate, duration units.Time, seed int64) units.Time {
+	nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed,
+		BufferPerCapacity: 40 * units.Microsecond}
+	dt := NewDeadlock(nc, hostsPerLeaf, 100*units.Gbps, upRate)
+	det := metrics.NewDeadlockDetector(dt.Network, 50*units.Microsecond, 3)
+	det.Start()
+
+	rng := rand.New(rand.NewSource(seed))
+	specs := deadlockWorkload(rng, dt, duration)
+	Run(dt.Network, RunConfig{Specs: specs, Duration: duration})
+	return det.Onset()
+}
+
+// deadlockWorkload generates directed fan-in traffic for the four leaf
+// pairs of Fig. 12a: Poisson group arrivals at downlink load 0.5, each
+// group being 1–15 concurrent senders from the source leaf to one receiver
+// in the destination leaf, sizes from the Hadoop distribution.
+func deadlockWorkload(rng *rand.Rand, dt *DeadlockTopo, duration units.Time) []FlowSpec {
+	pairs := [][2]int{{0, 3}, {3, 0}, {1, 2}, {2, 1}}
+	dist := workload.Hadoop()
+	const load = 0.5
+	hostsPerLeaf := len(dt.LeafHosts[0])
+	// Per destination leaf: load×capacity bytes/s; mean group = E[K]·mean.
+	bytesPerSec := load * float64(hostsPerLeaf) * float64(100*units.Gbps) / 8
+	meanGroup := 8.0 * float64(dist.Mean()) // E[K] = 8 for K ~ U{1..15}
+	meanGapPs := float64(units.Second) / (bytesPerSec / meanGroup)
+
+	var specs []FlowSpec
+	id := 1
+	for _, pair := range pairs {
+		src, dst := dt.LeafHosts[pair[0]], dt.LeafHosts[pair[1]]
+		for t := expGap(rng, meanGapPs); t < float64(duration); t += expGap(rng, meanGapPs) {
+			k := 1 + rng.Intn(15)
+			recv := dst[rng.Intn(len(dst))]
+			perm := rng.Perm(len(src))
+			if k > len(src) {
+				k = len(src)
+			}
+			for j := 0; j < k; j++ {
+				specs = append(specs, FlowSpec{
+					ID: id, Src: src[perm[j]], Dst: recv,
+					Size: dist.Sample(rng), Start: units.Time(t),
+					Class: 0, Tag: "fanin",
+				})
+				id++
+			}
+		}
+	}
+	return specs
+}
+
+func expGap(rng *rand.Rand, meanPs float64) float64 {
+	u := rng.Float64()
+	// Avoid log(0).
+	if u >= 1 {
+		u = 0.999999
+	}
+	return -meanPs * logf64(1-u)
+}
+
+// Fig13Row is one scheme/transport variant's F0 throughput time series.
+type Fig13Row struct {
+	Scheme    Scheme
+	Transport TransportKind
+	// Bin is the sampling window; Series is F0's goodput per bin.
+	Bin    units.Time
+	Series []units.BitRate
+	// BurstAt is when the fan-in burst started.
+	BurstAt units.Time
+}
+
+// MinDuringBurst returns F0's lowest goodput in the window after the burst.
+func (r Fig13Row) MinDuringBurst() units.BitRate {
+	start := int(r.BurstAt / r.Bin)
+	if start >= len(r.Series) {
+		return 0
+	}
+	lo := r.Series[start]
+	for _, v := range r.Series[start:] {
+		if v < lo {
+			lo = v
+		}
+	}
+	return lo
+}
+
+// Fig13 reproduces the collateral-damage experiment (Fig. 13): long-lived
+// F0 (H0→R0, innocent) and F1 (H1→R1) at ~50 Gbps each across the S0–S1
+// link, then 24 concurrent 64 KB fan-in flows into R1. It reports F0's
+// goodput time series for each transport and scheme.
+func Fig13(opt ExpOptions) []Fig13Row {
+	const (
+		fanIn = 24
+		rate  = 100 * units.Gbps
+		bin   = 10 * units.Microsecond
+	)
+	var rows []Fig13Row
+	for _, tr := range []TransportKind{TransportNone, TransportDCQCN, TransportPowerTCP} {
+		// The paper bursts only after F0/F1 have converged to ~50 Gbps.
+		// DCQCN recovers from its initial rate crash in milliseconds; the
+		// window transports converge much faster.
+		var burstAt units.Time
+		switch tr {
+		case TransportDCQCN:
+			burstAt = 4 * units.Millisecond
+		case TransportPowerTCP:
+			burstAt = 500 * units.Microsecond
+		default:
+			burstAt = 200 * units.Microsecond
+		}
+		horizon := burstAt + 600*units.Microsecond
+		for _, scheme := range []Scheme{SIH, DSH} {
+			nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: opt.Seed}
+			cd := NewCollateralUnit(nc, fanIn, rate)
+
+			bgSize := units.BytesInTime(2*horizon, rate)
+			specs := []FlowSpec{
+				{ID: 1, Src: cd.H0, Dst: cd.R0, Size: bgSize, Start: 0, Class: 0, Tag: "F0"},
+				{ID: 2, Src: cd.H1, Dst: cd.R1, Size: bgSize, Start: 0, Class: 0, Tag: "F1"},
+			}
+			for i, h := range cd.FanHosts {
+				specs = append(specs, FlowSpec{
+					ID: 10 + i, Src: h, Dst: cd.R1, Size: 64 * 1024,
+					Start: burstAt, Class: 0, Tag: "fanin",
+				})
+			}
+			// Sample R0's received payload every bin; R0 receives only F0.
+			meter := metrics.NewThroughputMeter(bin)
+			r0 := cd.Hosts[cd.R0]
+			var prev units.ByteSize
+			var sample func()
+			sample = func() {
+				cur := r0.RxDataBytes()
+				meter.Add(cd.Sim.Now()-1, cur-prev) // attribute to the ending bin
+				prev = cur
+				if cd.Sim.Now() < horizon {
+					cd.Sim.Schedule(bin, sample)
+				}
+			}
+			cd.Sim.Schedule(bin, sample)
+
+			Run(cd.Network, RunConfig{Specs: specs, Duration: horizon})
+			rows = append(rows, Fig13Row{
+				Scheme: scheme, Transport: tr, Bin: bin, Series: meter.Series(), BurstAt: burstAt,
+			})
+			opt.logf("fig13: %s/%-8s min F0 goodput during burst: %v", scheme, tr,
+				rows[len(rows)-1].MinDuringBurst())
+		}
+	}
+	return rows
+}

@@ -1,0 +1,67 @@
+// Incast burst sweep (the Fig. 11 scenario as a library user would write
+// it): two long-lived background flows plus a 16-way fan-in burst of
+// growing size; measure the PFC pause duration the fan-in senders suffer.
+//
+// Run with:
+//
+//	go run ./examples/incast
+package main
+
+import (
+	"fmt"
+
+	"dsh/dshsim"
+	"dsh/units"
+)
+
+const (
+	ports  = 32
+	rate   = 100 * units.Gbps
+	buffer = 16 * units.MB
+)
+
+func main() {
+	fmt.Println("burst sweep: 16 fan-in senders -> one port, 2 background flows")
+	fmt.Printf("%-14s %14s %14s\n", "burst (%buf)", "SIH paused", "DSH paused")
+	for _, pct := range []int{5, 10, 20, 30, 40, 50} {
+		sih := pausedFor(dshsim.SIH, pct)
+		dsh := pausedFor(dshsim.DSH, pct)
+		fmt.Printf("%-14d %14v %14v\n", pct, sih, dsh)
+	}
+}
+
+func pausedFor(scheme dshsim.Scheme, burstPct int) units.Time {
+	net := dshsim.NewSingleSwitch(dshsim.NetworkConfig{
+		Scheme:    scheme,
+		Transport: dshsim.TransportNone,
+		Buffer:    buffer,
+		Seed:      1,
+	}, ports, rate)
+
+	burstAt := 1 * units.Millisecond
+	horizon := 12 * units.Millisecond
+	perSender := units.ByteSize(float64(buffer)*float64(burstPct)/100) / 16
+
+	// Long-lived background flows from ports 0 and 1 into port 31.
+	bgSize := units.BytesInTime(2*horizon, rate)
+	specs := []dshsim.FlowSpec{
+		{ID: 1, Src: 0, Dst: 31, Size: bgSize, Class: 1, Tag: "bg"},
+		{ID: 2, Src: 1, Dst: 31, Size: bgSize, Class: 1, Tag: "bg"},
+	}
+	// The burst: ports 2..17 into port 30, all at once.
+	for i := 0; i < 16; i++ {
+		specs = append(specs, dshsim.FlowSpec{
+			ID: 10 + i, Src: 2 + i, Dst: 30,
+			Size: perSender, Start: burstAt, Class: 0, Tag: "fanin",
+		})
+	}
+
+	dshsim.Run(net, dshsim.RunConfig{Specs: specs, Duration: horizon})
+
+	var paused units.Time
+	for i := 2; i <= 17; i++ {
+		p := net.Hosts[i].Port()
+		paused += p.ClassPausedTime(0) + p.PortPausedTime()
+	}
+	return paused
+}

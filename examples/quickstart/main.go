@@ -1,0 +1,51 @@
+// Quickstart: build a single PFC-enabled switch, fire a 16-to-1 incast at
+// it, and compare how much PFC pausing the two headroom schemes cause.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dsh/dshsim"
+	"dsh/units"
+)
+
+func main() {
+	fmt.Println("16-to-1 incast of 384 KB per sender through an 18-port 100GbE switch")
+	fmt.Println("(16 MB shared-memory Tomahawk model, PFC lossless, no congestion control)")
+	fmt.Println()
+	fmt.Printf("%-8s %12s %14s %12s %8s\n", "scheme", "pause frames", "paused time", "avg FCT", "drops")
+
+	for _, scheme := range []dshsim.Scheme{dshsim.SIH, dshsim.DSH} {
+		net := dshsim.NewSingleSwitch(dshsim.NetworkConfig{
+			Scheme:    scheme,
+			Transport: dshsim.TransportNone,
+			Buffer:    16 * units.MB,
+			Seed:      1,
+		}, 18, 100*units.Gbps)
+
+		// Hosts 0..15 each send 384 KB to host 17, starting together.
+		var specs []dshsim.FlowSpec
+		for i := 0; i < 16; i++ {
+			specs = append(specs, dshsim.FlowSpec{
+				ID: i + 1, Src: i, Dst: 17,
+				Size: 384 * units.KB, Start: 0,
+				Class: 0, Tag: "incast",
+			})
+		}
+
+		res := dshsim.Run(net, dshsim.RunConfig{
+			Specs:    specs,
+			Duration: 5 * units.Millisecond,
+		})
+		fmt.Printf("%-8s %12d %14v %12v %8d\n",
+			scheme, res.PauseFrames, res.HostPausedTime, res.FCT.Avg("incast"), res.Drops)
+	}
+
+	fmt.Println()
+	fmt.Println("DSH absorbs the whole burst in shared buffer (no pauses); SIH's")
+	fmt.Println("statically reserved headroom leaves too little footroom and pauses.")
+}

@@ -1,0 +1,204 @@
+// Package analysis implements the paper's closed-form results: the
+// headroom equations (Eq. 1, 3, 4), the burst-absorption bounds of
+// Theorem 1 (DSH) and Theorem 2 (SIH) with the queue/threshold evolution of
+// Fig. 10, and the Broadcom switching-chip generation table behind Fig. 4.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/units"
+)
+
+// BurstScenario is the §IV-C setting: N ingress queues are already
+// congested (sitting at the pause threshold) when M empty queues start
+// receiving bursts at offered load R (normalized to the drain rate, R > 1).
+type BurstScenario struct {
+	// Alpha is the DT parameter α.
+	Alpha float64
+	// N and M are the congested and bursting queue counts.
+	N, M int
+	// R is the normalized offered load (> 1).
+	R float64
+	// Buffer is the total lossless buffer B.
+	Buffer units.ByteSize
+	// Eta is the per-queue worst-case headroom η.
+	Eta units.ByteSize
+	// Ports and QueuesPerPort size the static reservations (Np, Nq).
+	Ports, QueuesPerPort int
+	// LineRate converts the theorem's normalized time into wall-clock time.
+	LineRate units.BitRate
+}
+
+func (s BurstScenario) validate() error {
+	switch {
+	case s.Alpha <= 0:
+		return fmt.Errorf("analysis: Alpha must be positive")
+	case s.N < 0 || s.M <= 0:
+		return fmt.Errorf("analysis: need N ≥ 0 and M ≥ 1")
+	case s.R <= 1:
+		return fmt.Errorf("analysis: R must exceed 1 (offered load above drain rate)")
+	case s.Buffer <= 0 || s.Eta <= 0 || s.Ports <= 0 || s.QueuesPerPort <= 0:
+		return fmt.Errorf("analysis: Buffer, Eta, Ports, QueuesPerPort must be positive")
+	case s.LineRate <= 0:
+		return fmt.Errorf("analysis: LineRate must be positive")
+	}
+	return nil
+}
+
+// regimeBoundary returns the R value separating the two cases of
+// Theorems 1 and 2: below it the congested queues can follow the falling
+// threshold (|T′| ≤ drain rate); above it they drain at line rate.
+// Self-consistency of the follow mode, T′ = −αM(R−1)/(1+αN) ≥ −1, gives
+//
+//	R* = 1 + (1+αN)/(αM),
+//
+// the unique point where the t1 and t2 expressions coincide (the condition
+// as printed in the paper does not make the two cases continuous; this one
+// does, and the fluid-model cross-check in the tests confirms it).
+func (s BurstScenario) regimeBoundary() float64 {
+	return 1 + (1+s.Alpha*float64(s.N))/(s.Alpha*float64(s.M))
+}
+
+// maxBurstBytes evaluates the shared theorem structure for a given shared
+// buffer Bs and pause-threshold offset η0 (η for DSH, 0 for SIH),
+// returning the longest burst duration (expressed in bytes drained at line
+// rate, i.e. normalized time × C).
+func (s BurstScenario) maxBurstBytes(bs units.ByteSize, eta0 units.ByteSize) float64 {
+	a := s.Alpha
+	n := float64(s.N)
+	m := float64(s.M)
+	r := s.R
+	num := a*float64(bs) - float64(eta0)
+	if num <= 0 {
+		return 0
+	}
+	var denom float64
+	if r < s.regimeBoundary() {
+		denom = (1 + a*(n+m)) * (r - 1)
+	} else {
+		denom = (1 + a*n) * ((1+a*m)*(r-1) - a*n)
+	}
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return num / denom
+}
+
+// DSHMaxBurstDuration returns Theorem 1's bound: the longest burst that
+// avoids PFC PAUSEs under DSH. Bs = B − Np·η (insurance headroom; the
+// theorem assumes no private buffer).
+func (s BurstScenario) DSHMaxBurstDuration() (units.Time, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	bs := s.Buffer - units.ByteSize(s.Ports)*s.Eta
+	if bs <= 0 {
+		return 0, fmt.Errorf("analysis: insurance reservation exceeds buffer")
+	}
+	return s.bytesToTime(s.maxBurstBytes(bs, s.Eta)), nil
+}
+
+// SIHMaxBurstDuration returns Theorem 2's bound. Bs = B − Np·Nq·η.
+func (s BurstScenario) SIHMaxBurstDuration() (units.Time, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	bs := s.Buffer - units.ByteSize(s.Ports*s.QueuesPerPort)*s.Eta
+	if bs <= 0 {
+		return 0, fmt.Errorf("analysis: static headroom reservation exceeds buffer")
+	}
+	return s.bytesToTime(s.maxBurstBytes(bs, 0)), nil
+}
+
+// DSHMaxBurstBytes and SIHMaxBurstBytes return the per-queue burst volume
+// (R·C·d) each scheme absorbs without pausing.
+func (s BurstScenario) DSHMaxBurstBytes() (units.ByteSize, error) {
+	d, err := s.DSHMaxBurstDuration()
+	if err != nil {
+		return 0, err
+	}
+	return s.burstVolume(d), nil
+}
+
+// SIHMaxBurstBytes is the SIH counterpart of DSHMaxBurstBytes.
+func (s BurstScenario) SIHMaxBurstBytes() (units.ByteSize, error) {
+	d, err := s.SIHMaxBurstDuration()
+	if err != nil {
+		return 0, err
+	}
+	return s.burstVolume(d), nil
+}
+
+func (s BurstScenario) burstVolume(d units.Time) units.ByteSize {
+	if d == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return units.ByteSize(s.R * float64(units.BytesInTime(d, s.LineRate)))
+}
+
+func (s BurstScenario) bytesToTime(b float64) units.Time {
+	if math.IsInf(b, 1) {
+		return math.MaxInt64
+	}
+	return units.TransmissionTime(units.ByteSize(b), s.LineRate)
+}
+
+// Gain returns the DSH/SIH burst-absorption ratio (the "4×" headline).
+func (s BurstScenario) Gain() (float64, error) {
+	d1, err := s.DSHMaxBurstDuration()
+	if err != nil {
+		return 0, err
+	}
+	d2, err := s.SIHMaxBurstDuration()
+	if err != nil {
+		return 0, err
+	}
+	if d2 == 0 {
+		return math.Inf(1), nil
+	}
+	return float64(d1) / float64(d2), nil
+}
+
+// Chip describes one Broadcom switching-chip generation (Fig. 4).
+type Chip struct {
+	Name     string
+	Year     int
+	Capacity units.BitRate
+	Buffer   units.ByteSize
+	Ports    int
+	PortRate units.BitRate
+}
+
+// BroadcomChips lists the generations Fig. 4 plots, with the public
+// buffer/port configurations.
+func BroadcomChips() []Chip {
+	return []Chip{
+		{"Trident+", 2010, 480 * units.Gbps, 9 * units.MB, 48, 10 * units.Gbps},
+		{"Trident2", 2012, 1280 * units.Gbps, 12 * units.MB, 32, 40 * units.Gbps},
+		{"Tomahawk2", 2016, 6400 * units.Gbps, 42 * units.MB, 64, 100 * units.Gbps},
+		{"Tomahawk3", 2017, 12800 * units.Gbps, 64 * units.MB, 32, 400 * units.Gbps},
+		{"Tomahawk4", 2019, 25600 * units.Gbps, 113 * units.MB, 64, 400 * units.Gbps},
+	}
+}
+
+// BufferPerCapacity returns the buffer-to-capacity ratio (the µs of traffic
+// the buffer can hold at full load), Fig. 4's declining bar.
+func (c Chip) BufferPerCapacity() units.Time {
+	return units.TransmissionTime(c.Buffer, c.Capacity)
+}
+
+// HeadroomSize returns the SIH worst-case headroom reservation (Eq. 3) for
+// the chip with 8 queues per port, 1.5 µs propagation delay, 1500 B MTU —
+// the assumptions behind Fig. 4.
+func (c Chip) HeadroomSize() units.ByteSize {
+	eta := core.RequiredHeadroom(c.PortRate, 1500*units.Nanosecond, 1500)
+	return units.ByteSize(c.Ports*8) * eta
+}
+
+// HeadroomFraction returns HeadroomSize / Buffer.
+func (c Chip) HeadroomFraction() float64 {
+	return float64(c.HeadroomSize()) / float64(c.Buffer)
+}

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsh/units"
+)
+
+// paperScenario mirrors the §V-A microbenchmark switch: Tomahawk, 16 MB,
+// 32 ports, 7 accounted queues, η = 56840 B, α = 1/16.
+func paperScenario() BurstScenario {
+	return BurstScenario{
+		Alpha:         1.0 / 16.0,
+		N:             2,
+		M:             16,
+		R:             16,
+		Buffer:        16 * units.MB,
+		Eta:           56840,
+		Ports:         32,
+		QueuesPerPort: 7,
+		LineRate:      100 * units.Gbps,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*BurstScenario){
+		func(s *BurstScenario) { s.Alpha = 0 },
+		func(s *BurstScenario) { s.M = 0 },
+		func(s *BurstScenario) { s.N = -1 },
+		func(s *BurstScenario) { s.R = 1 },
+		func(s *BurstScenario) { s.Buffer = 0 },
+		func(s *BurstScenario) { s.Eta = 0 },
+		func(s *BurstScenario) { s.Ports = 0 },
+		func(s *BurstScenario) { s.QueuesPerPort = 0 },
+		func(s *BurstScenario) { s.LineRate = 0 },
+	}
+	for i, mutate := range bad {
+		s := paperScenario()
+		mutate(&s)
+		if _, err := s.DSHMaxBurstDuration(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDSHAbsorbsMoreThanSIH(t *testing.T) {
+	s := paperScenario()
+	dsh, err := s.DSHMaxBurstDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sih, err := s.SIHMaxBurstDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsh <= sih {
+		t.Errorf("DSH bound %v not above SIH bound %v", dsh, sih)
+	}
+	gain, err := s.Gain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: ~4x more burst absorption. The exact factor
+	// depends on N/M/R; for the Tomahawk scenario it must be substantially
+	// above 2x.
+	if gain < 2 {
+		t.Errorf("gain = %.2f, want > 2", gain)
+	}
+	t.Logf("analytic burst absorption gain: %.2fx (DSH %v vs SIH %v)", gain, dsh, sih)
+}
+
+func TestRegimeBoundary(t *testing.T) {
+	s := paperScenario()
+	// 1 + (1+αN)/(αM) with α=1/16, N=2, M=16: 1 + 1.125/1 = 2.125.
+	if got := s.regimeBoundary(); math.Abs(got-2.125) > 1e-9 {
+		t.Errorf("regime boundary = %v, want 2.125", got)
+	}
+}
+
+func TestRegimeContinuity(t *testing.T) {
+	// t1 and t2 must agree at the regime boundary (sanity of the corrected
+	// condition).
+	s := paperScenario()
+	rStar := s.regimeBoundary()
+	below, above := s, s
+	below.R = rStar * 0.999999
+	above.R = rStar * 1.000001
+	d1, err1 := below.DSHMaxBurstDuration()
+	d2, err2 := above.DSHMaxBurstDuration()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if ratio := float64(d1) / float64(d2); ratio < 0.999 || ratio > 1.001 {
+		t.Errorf("discontinuity at boundary: %v vs %v", d1, d2)
+	}
+}
+
+func TestBothRegimesPositive(t *testing.T) {
+	for _, r := range []float64{1.5, 2, 2.2, 5, 15.1, 40} {
+		s := paperScenario()
+		s.R = r
+		d1, err := s.DSHMaxBurstDuration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := s.SIHMaxBurstDuration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 <= 0 || d2 <= 0 {
+			t.Errorf("R=%v: non-positive bounds dsh=%v sih=%v", r, d1, d2)
+		}
+	}
+}
+
+func TestBurstBytesScaleWithDuration(t *testing.T) {
+	s := paperScenario()
+	d, _ := s.DSHMaxBurstDuration()
+	b, err := s.DSHMaxBurstBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.ByteSize(s.R * float64(units.BytesInTime(d, s.LineRate)))
+	if b != want {
+		t.Errorf("burst bytes %d, want %d", b, want)
+	}
+	if sb, _ := s.SIHMaxBurstBytes(); sb >= b {
+		t.Errorf("SIH bytes %d not below DSH bytes %d", sb, b)
+	}
+}
+
+// Property: the theorem bound decreases with burst intensity R and
+// increases with buffer size.
+func TestBoundMonotonicity(t *testing.T) {
+	f := func(rSel, bufSel uint8) bool {
+		s := paperScenario()
+		r1 := 2 + float64(rSel%20)
+		r2 := r1 + 1
+		s.R = r1
+		d1, err1 := s.DSHMaxBurstDuration()
+		s.R = r2
+		d2, err2 := s.DSHMaxBurstDuration()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if d2 > d1 {
+			return false
+		}
+		s = paperScenario()
+		s.Buffer = 16*units.MB + units.ByteSize(bufSel)*units.MB
+		d3, err := s.DSHMaxBurstDuration()
+		if err != nil {
+			return false
+		}
+		base := paperScenario()
+		d0, _ := base.DSHMaxBurstDuration()
+		return d3 >= d0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 1 remark: DSH's bound is independent of queues per port; SIH's
+// degrades as Nq grows.
+func TestQueueCountScalability(t *testing.T) {
+	base := paperScenario()
+	d8, _ := base.DSHMaxBurstDuration()
+	s8, _ := base.SIHMaxBurstDuration()
+	base.Buffer = 64 * units.MB // room for the larger static reservation
+	d8, _ = base.DSHMaxBurstDuration()
+	s8, _ = base.SIHMaxBurstDuration()
+	more := base
+	more.QueuesPerPort = 14
+	d16, _ := more.DSHMaxBurstDuration()
+	s16, err := more.SIHMaxBurstDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d16 != d8 {
+		t.Errorf("DSH bound changed with Nq: %v -> %v", d8, d16)
+	}
+	if s16 >= s8 {
+		t.Errorf("SIH bound did not degrade with Nq: %v -> %v", s8, s16)
+	}
+}
+
+func TestSIHReservationExceedsBufferErrors(t *testing.T) {
+	s := paperScenario()
+	s.Buffer = 12 * units.MB // 32*7*56840 ≈ 12.7MB > B
+	if _, err := s.SIHMaxBurstDuration(); err == nil {
+		t.Error("expected error when headroom reservation exceeds buffer")
+	}
+	// DSH still fits: 32*56840 ≈ 1.8MB.
+	if _, err := s.DSHMaxBurstDuration(); err != nil {
+		t.Errorf("DSH should fit in 12MB: %v", err)
+	}
+}
+
+// The fluid model must agree with the closed form in both regimes.
+func TestFluidMatchesClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		r    float64
+	}{
+		{"slow regime", 1.8},
+		{"fast regime", 30},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := paperScenario()
+			s.R = tc.r
+			for _, scheme := range []string{"DSH", "SIH"} {
+				var closed units.Time
+				var err error
+				if scheme == "DSH" {
+					closed, err = s.DSHMaxBurstDuration()
+				} else {
+					closed, err = s.SIHMaxBurstDuration()
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				fluid := s.FluidPauseTime(scheme)
+				ratio := float64(fluid) / float64(closed)
+				if ratio < 0.97 || ratio > 1.03 {
+					t.Errorf("[%s] fluid %v vs closed form %v (ratio %.3f)", scheme, fluid, closed, ratio)
+				}
+			}
+		})
+	}
+}
+
+func TestFluidTraceShape(t *testing.T) {
+	s := paperScenario()
+	pts, crossing := s.FluidTrace("DSH", float64(s.Buffer)/2e6, 4*float64(s.Buffer))
+	if len(pts) == 0 {
+		t.Fatal("no trace points")
+	}
+	if math.IsInf(crossing, 1) {
+		t.Fatal("burst never crossed threshold")
+	}
+	// Threshold must be non-increasing, burst queue non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threshold > pts[i-1].Threshold+1e-6 {
+			t.Fatal("threshold increased during burst")
+		}
+		if pts[i].QBurst < pts[i-1].QBurst-1e-6 {
+			t.Fatal("burst queue shrank")
+		}
+	}
+	if pts[0].QCongested <= 0 {
+		t.Error("congested queues must start at the pause threshold")
+	}
+}
+
+func TestFluidBadSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	paperScenario().FluidTrace("NOPE", 1, 10)
+}
+
+func TestBroadcomChipTrends(t *testing.T) {
+	chips := BroadcomChips()
+	if len(chips) != 5 {
+		t.Fatalf("%d chips, want 5", len(chips))
+	}
+	// Fig. 4's two headline trends: buffer-per-capacity falls ~4x over the
+	// decade; headroom fraction grows substantially.
+	first, last := chips[0], chips[len(chips)-1]
+	bpc0 := first.BufferPerCapacity()
+	bpcN := last.BufferPerCapacity()
+	if ratio := float64(bpc0) / float64(bpcN); ratio < 3 {
+		t.Errorf("buffer/capacity shrank only %.1fx (%v -> %v), want ≥3x", ratio, bpc0, bpcN)
+	}
+	if bpc0 < 120*units.Microsecond || bpc0 > 180*units.Microsecond {
+		t.Errorf("Trident+ buffer/capacity = %v, want ~150us", bpc0)
+	}
+	if bpcN < 30*units.Microsecond || bpcN > 45*units.Microsecond {
+		t.Errorf("Tomahawk4 buffer/capacity = %v, want ~35us", bpcN)
+	}
+	if first.HeadroomFraction() < 0.35 || first.HeadroomFraction() > 0.55 {
+		t.Errorf("Trident+ headroom fraction = %.2f, want ~0.45", first.HeadroomFraction())
+	}
+	if last.HeadroomFraction() <= first.HeadroomFraction() {
+		t.Error("headroom fraction did not grow across generations")
+	}
+	for _, c := range chips {
+		if c.HeadroomSize() <= 0 || c.HeadroomFraction() >= 1 {
+			t.Errorf("%s: implausible headroom %v (%.2f)", c.Name, c.HeadroomSize(), c.HeadroomFraction())
+		}
+	}
+}

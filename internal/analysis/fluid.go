@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"math"
+
+	"dsh/units"
+)
+
+// FluidPoint is one sample of the Fig. 10 evolution: the DT threshold, the
+// pause threshold, and the two queue groups' lengths, in bytes, at a
+// normalized time (expressed in bytes drained at line rate).
+type FluidPoint struct {
+	T          float64 // normalized time (bytes at line rate)
+	Threshold  float64 // DT threshold T(t)
+	XOff       float64 // pause threshold (T−η for DSH, T for SIH)
+	QCongested float64 // length of each initially-congested queue
+	QBurst     float64 // length of each bursting queue
+}
+
+// FluidTrace integrates the §IV-C fluid model and returns the sampled
+// evolution plus the normalized time at which the bursting queues reach the
+// pause threshold (math.Inf(1) if they never do within the horizon).
+//
+// Dynamics: the M bursting queues grow at R−1; the N congested queues sit
+// at the pause threshold and follow it downward, bounded by their drain
+// rate (q̇ = max(T′, −1)); the threshold follows DT, T = α(Bs − Σq).
+func (s BurstScenario) FluidTrace(scheme string, step float64, horizon float64) ([]FluidPoint, float64) {
+	var bs, eta0 float64
+	switch scheme {
+	case "DSH":
+		bs = float64(s.Buffer - units.ByteSize(s.Ports)*s.Eta)
+		eta0 = float64(s.Eta)
+	case "SIH":
+		bs = float64(s.Buffer - units.ByteSize(s.Ports*s.QueuesPerPort)*s.Eta)
+		eta0 = 0
+	default:
+		panic("analysis: scheme must be DSH or SIH")
+	}
+	a := s.Alpha
+	n := float64(s.N)
+	m := float64(s.M)
+	r := s.R
+
+	// Initial condition (Eq. 10): T(0) = α(Bs + N·η0)/(1+αN),
+	// congested queues at T(0) − η0, bursting queues empty.
+	threshold := a * (bs + n*eta0) / (1 + a*n)
+	qc := threshold - eta0
+	if qc < 0 {
+		qc = 0
+	}
+	qb := 0.0
+
+	var points []FluidPoint
+	sampleEvery := horizon / 512
+	nextSample := 0.0
+	for t := 0.0; t <= horizon; t += step {
+		if t >= nextSample {
+			points = append(points, FluidPoint{
+				T: t, Threshold: threshold, XOff: threshold - eta0, QCongested: qc, QBurst: qb,
+			})
+			nextSample += sampleEvery
+		}
+		if qb >= threshold-eta0 {
+			return points, t
+		}
+		// Derivatives.
+		qbDot := r - 1
+		// Congested queues follow the falling threshold, at most draining
+		// at line rate. T' depends on their choice; solve the coupled form:
+		// T' = -a(n*qcDot + m*qbDot); if following (qcDot = T'):
+		tPrimeFollow := -a * m * qbDot / (1 + a*n)
+		var qcDot float64
+		if qc <= 0 {
+			qcDot = 0
+		} else if tPrimeFollow >= -1 {
+			qcDot = tPrimeFollow
+		} else {
+			qcDot = -1
+		}
+		tDot := -a * (n*qcDot + m*qbDot)
+		qb += qbDot * step
+		qc += qcDot * step
+		if qc < 0 {
+			qc = 0
+		}
+		threshold += tDot * step
+		if threshold < 0 {
+			threshold = 0
+		}
+	}
+	return points, math.Inf(1)
+}
+
+// FluidPauseTime integrates until the first pause and converts the
+// normalized crossing time to wall-clock time (math.MaxInt64 if no pause).
+func (s BurstScenario) FluidPauseTime(scheme string) units.Time {
+	if err := s.validate(); err != nil {
+		panic(err)
+	}
+	// Horizon: generously beyond the analytic bound.
+	horizon := 4 * float64(s.Buffer)
+	_, t := s.FluidTrace(scheme, float64(s.Buffer)/2e6, horizon)
+	return s.bytesToTime(t)
+}

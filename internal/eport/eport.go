@@ -1,0 +1,403 @@
+// Package eport models the egress side of a network port: per-class FIFO
+// queues, a DWRR scheduler with an optional strict-priority class, a
+// non-preemptive transmitter with exact serialization and propagation
+// delays, and the PFC pause state machine of Fig. 9 (queue-level and DSH's
+// port-level states combined with an OR, §IV-D).
+//
+// PFC frames travel through a dedicated control queue that is served before
+// everything else and is never paused; a control frame still waits for the
+// in-progress packet to finish, which reproduces the PAUSE "waiting delay"
+// (component ① of Eq. 1).
+package eport
+
+import (
+	"fmt"
+
+	"dsh/internal/packet"
+	"dsh/internal/sim"
+	"dsh/units"
+)
+
+// Receiver consumes packets whose last bit has arrived over the wire.
+type Receiver interface {
+	Receive(pkt *packet.Packet)
+}
+
+// Config parameterises a port.
+type Config struct {
+	Sim  *sim.Simulator
+	Rate units.BitRate
+	Prop units.Time
+	// Classes is the number of data classes (8 for PFC).
+	Classes int
+	// Quantum is the DWRR quantum (the evaluation uses 1600 B).
+	Quantum units.ByteSize
+	// StrictClass is served with strict priority over the DWRR classes
+	// (reserved for ACKs in the evaluation); −1 disables it.
+	StrictClass int
+	// OnDeparture fires when a packet's last bit leaves the port (the moment
+	// the MMU un-charges it). The cookie is the value passed to Enqueue.
+	OnDeparture func(pkt *packet.Packet, cookie int64)
+	// OnDequeue fires when a packet is picked for transmission, before the
+	// first bit leaves; used for INT stamping. qlen is the packet's class
+	// backlog after dequeue, tx the port's cumulative transmitted bytes.
+	OnDequeue func(pkt *packet.Packet, qlen, tx units.ByteSize)
+	// OnIdle fires when the transmitter finds nothing eligible to send.
+	// Hosts use it to inject the next flow packet.
+	OnIdle func()
+	// PauseTimeout, when positive, models the 802.1Qbb pause-timer
+	// semantics instead of pure ON/OFF: a received PAUSE expires after
+	// this duration unless refreshed by another PAUSE frame. The standard
+	// maximum is 65535 quanta of 512 bit-times (≈ 335 µs at 100 GbE).
+	// Zero keeps the paper's ON/OFF model (footnote 2: logically identical
+	// when the pauser refreshes before expiry).
+	PauseTimeout units.Time
+}
+
+// StandardPauseTimeout returns the 802.1Qbb maximum pause duration at a
+// given link rate: 65535 quanta × 512 bit-times.
+func StandardPauseTimeout(rate units.BitRate) units.Time {
+	return units.TransmissionTime(65535*512/8, rate)
+}
+
+type entry struct {
+	pkt    *packet.Packet
+	cookie int64
+}
+
+type classQueue struct {
+	items []entry
+	head  int
+	bytes units.ByteSize
+}
+
+func (q *classQueue) len() int { return len(q.items) - q.head }
+
+func (q *classQueue) push(e entry) {
+	q.items = append(q.items, e)
+	q.bytes += e.pkt.Size
+}
+
+func (q *classQueue) peek() entry { return q.items[q.head] }
+
+func (q *classQueue) pop() entry {
+	e := q.items[q.head]
+	q.items[q.head] = entry{}
+	q.head++
+	q.bytes -= e.pkt.Size
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = entry{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return e
+}
+
+// Port is one egress port. It is single-goroutine (event-loop) code: no
+// locking, deterministic behaviour.
+type Port struct {
+	cfg  Config
+	peer Receiver
+	up   bool
+
+	ctrl    classQueue
+	queues  []classQueue
+	deficit []units.ByteSize
+	granted []bool
+	rr      int
+
+	pausedClass []bool
+	pausedPort  bool
+
+	transmitting bool
+	txBytes      units.ByteSize
+
+	// Pause-time accounting (for Fig. 11-style metrics).
+	classPauseStart []units.Time
+	classPausedFor  []units.Time
+	portPauseStart  units.Time
+	portPausedFor   units.Time
+	pauseFrames     int64
+
+	// Pause-timer expiry events (timer semantics mode).
+	classExpiry []*sim.Event
+	portExpiry  *sim.Event
+}
+
+// New builds a port. Connect must be called before any packet is sent.
+func New(cfg Config) *Port {
+	if cfg.Sim == nil || cfg.Rate <= 0 || cfg.Classes <= 0 {
+		panic(fmt.Sprintf("eport: invalid config %+v", cfg))
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1600
+	}
+	return &Port{
+		cfg:             cfg,
+		up:              true,
+		queues:          make([]classQueue, cfg.Classes),
+		deficit:         make([]units.ByteSize, cfg.Classes),
+		granted:         make([]bool, cfg.Classes),
+		pausedClass:     make([]bool, cfg.Classes),
+		classPauseStart: make([]units.Time, cfg.Classes),
+		classPausedFor:  make([]units.Time, cfg.Classes),
+		classExpiry:     make([]*sim.Event, cfg.Classes),
+		portPauseStart:  -1,
+	}
+}
+
+// Connect attaches the receiving end of the wire.
+func (p *Port) Connect(peer Receiver) { p.peer = peer }
+
+// Rate returns the link rate.
+func (p *Port) Rate() units.BitRate { return p.cfg.Rate }
+
+// Classes returns the number of data classes the port serves.
+func (p *Port) Classes() int { return p.cfg.Classes }
+
+// Prop returns the link propagation delay.
+func (p *Port) Prop() units.Time { return p.cfg.Prop }
+
+// SetUp marks the link up or down. A down link silently discards packets in
+// flight (the routing layer is expected to avoid failed links).
+func (p *Port) SetUp(up bool) { p.up = up }
+
+// Up reports link status.
+func (p *Port) Up() bool { return p.up }
+
+// Enqueue appends a data-path packet to its class queue and kicks the
+// transmitter. The cookie is returned through OnDeparture.
+func (p *Port) Enqueue(pkt *packet.Packet, cookie int64) {
+	cls := int(pkt.Class)
+	if cls >= p.cfg.Classes {
+		panic(fmt.Sprintf("eport: class %d out of range", cls))
+	}
+	p.queues[cls].push(entry{pkt: pkt, cookie: cookie})
+	p.trySend()
+}
+
+// EnqueueControl appends a PFC frame to the control queue, which is served
+// before all data classes and is never paused.
+func (p *Port) EnqueueControl(pkt *packet.Packet) {
+	p.ctrl.push(entry{pkt: pkt})
+	p.trySend()
+}
+
+// ClassBacklog returns the queued bytes of a class.
+func (p *Port) ClassBacklog(cls packet.Class) units.ByteSize { return p.queues[cls].bytes }
+
+// ClassPackets returns the queued packet count of a class.
+func (p *Port) ClassPackets(cls packet.Class) int { return p.queues[cls].len() }
+
+// Backlog returns the total queued bytes across data classes.
+func (p *Port) Backlog() units.ByteSize {
+	var total units.ByteSize
+	for i := range p.queues {
+		total += p.queues[i].bytes
+	}
+	return total
+}
+
+// TxBytes returns cumulative transmitted bytes (all packet types).
+func (p *Port) TxBytes() units.ByteSize { return p.txBytes }
+
+// Transmitting reports whether a packet is currently being serialized.
+func (p *Port) Transmitting() bool { return p.transmitting }
+
+// SetClassPaused applies a received queue-level PAUSE/RESUME to this port.
+// In pause-timer mode a PAUSE re-arms the expiry timer (refresh).
+func (p *Port) SetClassPaused(cls packet.Class, paused bool) {
+	now := p.cfg.Sim.Now()
+	if p.cfg.PauseTimeout > 0 {
+		if p.classExpiry[cls] != nil {
+			p.classExpiry[cls].Cancel()
+			p.classExpiry[cls] = nil
+		}
+		if paused {
+			c := cls
+			p.classExpiry[cls] = p.cfg.Sim.Schedule(p.cfg.PauseTimeout, func() {
+				p.classExpiry[c] = nil
+				p.SetClassPaused(c, false)
+			})
+		}
+	}
+	if p.pausedClass[cls] == paused {
+		return
+	}
+	p.pausedClass[cls] = paused
+	if paused {
+		p.pauseFrames++
+		p.classPauseStart[cls] = now
+	} else {
+		p.classPausedFor[cls] += now - p.classPauseStart[cls]
+		p.trySend()
+	}
+}
+
+// SetPortPaused applies a received port-level PAUSE/RESUME to this port.
+// In pause-timer mode a PAUSE re-arms the expiry timer (refresh).
+func (p *Port) SetPortPaused(paused bool) {
+	now := p.cfg.Sim.Now()
+	if p.cfg.PauseTimeout > 0 {
+		if p.portExpiry != nil {
+			p.portExpiry.Cancel()
+			p.portExpiry = nil
+		}
+		if paused {
+			p.portExpiry = p.cfg.Sim.Schedule(p.cfg.PauseTimeout, func() {
+				p.portExpiry = nil
+				p.SetPortPaused(false)
+			})
+		}
+	}
+	if p.pausedPort == paused {
+		return
+	}
+	p.pausedPort = paused
+	if paused {
+		p.pauseFrames++
+		p.portPauseStart = now
+	} else {
+		p.portPausedFor += now - p.portPauseStart
+		p.portPauseStart = -1
+		p.trySend()
+	}
+}
+
+// ClassPaused reports whether a class is paused (by either level).
+func (p *Port) ClassPaused(cls packet.Class) bool { return p.pausedClass[cls] || p.pausedPort }
+
+// PortPaused reports whether the whole port is paused.
+func (p *Port) PortPaused() bool { return p.pausedPort }
+
+// ClassPausedTime returns the cumulative paused duration of a class
+// (queue-level only), including an in-progress pause.
+func (p *Port) ClassPausedTime(cls packet.Class) units.Time {
+	d := p.classPausedFor[cls]
+	if p.pausedClass[cls] {
+		d += p.cfg.Sim.Now() - p.classPauseStart[cls]
+	}
+	return d
+}
+
+// PortPausedTime returns the cumulative port-level paused duration.
+func (p *Port) PortPausedTime() units.Time {
+	d := p.portPausedFor
+	if p.pausedPort {
+		d += p.cfg.Sim.Now() - p.portPauseStart
+	}
+	return d
+}
+
+// PauseFrames returns how many PAUSE transitions this port has received.
+func (p *Port) PauseFrames() int64 { return p.pauseFrames }
+
+// advance moves the DWRR pointer to the next class, ending the current
+// class's visit (its next visit grants a fresh quantum).
+func (p *Port) advance() {
+	p.granted[p.rr] = false
+	p.rr = (p.rr + 1) % p.cfg.Classes
+}
+
+// eligible reports whether a data class may transmit now.
+func (p *Port) eligible(cls int) bool {
+	return !p.pausedPort && !p.pausedClass[cls] && p.queues[cls].len() > 0
+}
+
+// pick selects the next packet: control, then strict class, then DWRR.
+func (p *Port) pick() (entry, bool) {
+	if p.ctrl.len() > 0 {
+		return p.ctrl.pop(), true
+	}
+	if s := p.cfg.StrictClass; s >= 0 && p.eligible(s) {
+		return p.queues[s].pop(), true
+	}
+	// Deficit round robin: each arrival of the round-robin pointer at a
+	// backlogged class grants one quantum; the class is served while its
+	// deficit covers the head packet, then the pointer moves on. Multiple
+	// sweeps let deficits accumulate for packets larger than the quantum.
+	n := p.cfg.Classes
+	for sweep := 0; sweep < 4096; sweep++ {
+		any := false
+		for i := 0; i < n; i++ {
+			c := p.rr
+			if c == p.cfg.StrictClass || !p.eligible(c) {
+				if p.queues[c].len() == 0 {
+					p.deficit[c] = 0
+				}
+				p.advance()
+				continue
+			}
+			any = true
+			if !p.granted[c] {
+				p.deficit[c] += p.cfg.Quantum
+				p.granted[c] = true
+			}
+			head := p.queues[c].peek()
+			if p.deficit[c] >= head.pkt.Size {
+				e := p.queues[c].pop()
+				p.deficit[c] -= e.pkt.Size
+				if p.queues[c].len() == 0 {
+					p.deficit[c] = 0
+					p.advance()
+				}
+				return e, true
+			}
+			p.advance()
+		}
+		if !any {
+			return entry{}, false
+		}
+	}
+	panic("eport: DWRR made no progress in 4096 sweeps (packet vastly larger than quantum?)")
+}
+
+// trySend starts the next transmission if the port is idle.
+func (p *Port) trySend() {
+	if p.transmitting {
+		return
+	}
+	e, ok := p.pick()
+	if !ok {
+		if p.cfg.OnIdle != nil {
+			p.cfg.OnIdle()
+		}
+		return
+	}
+	p.transmit(e)
+}
+
+func (p *Port) transmit(e entry) {
+	p.transmitting = true
+	pkt := e.pkt
+	if p.cfg.OnDequeue != nil && pkt.Type != packet.PFC {
+		p.cfg.OnDequeue(pkt, p.queues[pkt.Class].bytes, p.txBytes)
+	}
+	txTime := units.TransmissionTime(pkt.Size, p.cfg.Rate)
+	s := p.cfg.Sim
+	s.Schedule(txTime, func() {
+		p.transmitting = false
+		p.txBytes += pkt.Size
+		if p.cfg.OnDeparture != nil {
+			p.cfg.OnDeparture(pkt, e.cookie)
+		}
+		p.trySend()
+	})
+	if p.peer == nil {
+		panic("eport: transmit before Connect")
+	}
+	if p.up {
+		peer := p.peer
+		s.Schedule(txTime+p.cfg.Prop, func() {
+			if p.up {
+				peer.Receive(pkt)
+			}
+		})
+	}
+}

@@ -1,0 +1,298 @@
+// Package host models an RDMA-style NIC endpoint: it injects flow packets
+// under congestion control, honours PFC PAUSE frames (queue- and port-
+// level), and implements the receiver side (per-packet ACKs with ECN/INT
+// echo and DCQCN CNP generation).
+//
+// The NIC keeps its wire queue shallow — at most one data packet per class
+// is handed to the port at a time — so pausing a class stops the flow
+// scheduler rather than building an unbounded local queue, matching how
+// real NICs schedule queue pairs at wire speed.
+package host
+
+import (
+	"fmt"
+
+	"dsh/internal/core"
+	"dsh/internal/eport"
+	"dsh/internal/packet"
+	"dsh/internal/sim"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+// Config parameterises a host.
+type Config struct {
+	Sim  *sim.Simulator
+	ID   int
+	Name string
+	// Rate and Prop describe the uplink.
+	Rate units.BitRate
+	Prop units.Time
+	// Classes is the number of priority classes (8).
+	Classes int
+	// AckClass carries ACK/CNP traffic with strict priority.
+	AckClass packet.Class
+	// MTU is the maximum wire size of a data packet (1500 B in the paper).
+	MTU units.ByteSize
+	// Header is the per-packet overhead inside MTU.
+	Header units.ByteSize
+	// CNPInterval is the DCQCN NP minimum CNP spacing per flow (50 µs);
+	// zero disables CNP generation.
+	CNPInterval units.Time
+	// PauseTimeout enables 802.1Qbb pause-timer semantics on the uplink
+	// (zero = ON/OFF model).
+	PauseTimeout units.Time
+	// OnFlowDone fires when the final ACK of a locally-originated flow
+	// arrives.
+	OnFlowDone func(f *transport.Flow)
+}
+
+type recvState struct {
+	received units.ByteSize
+	lastCNP  units.Time
+}
+
+// Host is one endpoint.
+type Host struct {
+	cfg  Config
+	port *eport.Port
+
+	flows   []*transport.Flow
+	flowIdx map[int]*transport.Flow
+	rr      int
+	wake    *sim.Event
+
+	recv map[int]*recvState
+
+	rxBytes  units.ByteSize
+	rxData   units.ByteSize
+	sentPkts int64
+}
+
+// New builds a host. Wire it with Port().Connect(peerInput) and hand
+// Input() to the peer.
+func New(cfg Config) *Host {
+	if cfg.Sim == nil || cfg.Rate <= 0 {
+		panic("host: Sim and Rate are required")
+	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = packet.NumClasses
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.Header < 0 || cfg.Header >= cfg.MTU {
+		panic(fmt.Sprintf("host: header %d outside [0, MTU)", cfg.Header))
+	}
+	h := &Host{
+		cfg:     cfg,
+		flowIdx: make(map[int]*transport.Flow),
+		recv:    make(map[int]*recvState),
+	}
+	h.port = eport.New(eport.Config{
+		Sim:          cfg.Sim,
+		Rate:         cfg.Rate,
+		Prop:         cfg.Prop,
+		Classes:      cfg.Classes,
+		StrictClass:  int(cfg.AckClass),
+		OnIdle:       h.pump,
+		PauseTimeout: cfg.PauseTimeout,
+	})
+	return h
+}
+
+// ID returns the host ID.
+func (h *Host) ID() int { return h.cfg.ID }
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.cfg.Name }
+
+// Port returns the uplink egress port for wiring and metrics.
+func (h *Host) Port() *eport.Port { return h.port }
+
+// RxBytes returns total received wire bytes.
+func (h *Host) RxBytes() units.ByteSize { return h.rxBytes }
+
+// RxDataBytes returns received data payload bytes.
+func (h *Host) RxDataBytes() units.ByteSize { return h.rxData }
+
+// SentPackets returns the number of injected data packets.
+func (h *Host) SentPackets() int64 { return h.sentPkts }
+
+// ActiveFlows returns the number of unfinished locally-originated flows.
+func (h *Host) ActiveFlows() int { return len(h.flows) }
+
+// input adapts the host to eport.Receiver.
+type input struct{ h *Host }
+
+// Receive implements eport.Receiver.
+func (in input) Receive(pkt *packet.Packet) { in.h.receive(pkt) }
+
+// Input returns the receiver the downlink peer delivers into.
+func (h *Host) Input() eport.Receiver { return input{h: h} }
+
+// MaxPayload returns the payload capacity of one MTU packet.
+func (h *Host) MaxPayload() units.ByteSize { return h.cfg.MTU - h.cfg.Header }
+
+// AddFlow registers a flow originating at this host and starts pumping.
+// The flow must have CC set; Start should be the current time.
+func (h *Host) AddFlow(f *transport.Flow) {
+	if f.CC == nil {
+		panic("host: flow without congestion controller")
+	}
+	if f.Src != h.cfg.ID {
+		panic(fmt.Sprintf("host %d: flow %d has Src %d", h.cfg.ID, f.ID, f.Src))
+	}
+	f.FinishedAt = -1
+	h.flows = append(h.flows, f)
+	h.flowIdx[f.ID] = f
+	h.pump()
+}
+
+// pump tries to inject the next data packet. It is invoked whenever
+// eligibility may have changed: port idle, ACK/CNP arrival, PFC resume,
+// pacing timer, or a new flow.
+func (h *Host) pump() {
+	if h.port.Transmitting() || len(h.flows) == 0 {
+		return
+	}
+	now := h.cfg.Sim.Now()
+	var minRetry units.Time = -1
+	n := len(h.flows)
+	for i := 0; i < n; i++ {
+		idx := (h.rr + i) % n
+		f := h.flows[idx]
+		if f.Remaining() == 0 {
+			continue // fully sent, waiting for ACKs
+		}
+		if h.port.ClassPaused(f.Class) || h.port.ClassBacklog(f.Class) > 0 {
+			continue
+		}
+		payload := min(f.Remaining(), h.MaxPayload())
+		ok, retry := f.CC.AllowSend(now, f, payload)
+		if !ok {
+			if retry > now && (minRetry < 0 || retry < minRetry) {
+				minRetry = retry
+			}
+			continue
+		}
+		pkt := packet.NewData(f.ID, f.Src, f.Dst, f.Class, f.Sent, payload, h.cfg.Header)
+		pkt.ECNCapable = true
+		pkt.SentAt = now
+		pkt.Last = f.Sent+payload == f.Size
+		f.Sent += payload
+		f.CC.OnSend(now, f, payload)
+		h.sentPkts++
+		h.rr = (idx + 1) % n
+		h.port.Enqueue(pkt, 0)
+		return
+	}
+	if minRetry >= 0 {
+		h.scheduleWake(minRetry)
+	}
+}
+
+func (h *Host) scheduleWake(at units.Time) {
+	if h.wake != nil && h.wake.At() <= at {
+		return
+	}
+	if h.wake != nil {
+		h.wake.Cancel()
+	}
+	h.wake = h.cfg.Sim.At(at, func() {
+		h.wake = nil
+		h.pump()
+	})
+}
+
+// receive is the downlink pipeline.
+func (h *Host) receive(pkt *packet.Packet) {
+	h.rxBytes += pkt.Size
+	switch pkt.Type {
+	case packet.PFC:
+		h.handlePFC(pkt)
+	case packet.Data:
+		h.handleData(pkt)
+	case packet.Ack:
+		h.handleAck(pkt)
+	case packet.CNP:
+		h.handleCNP(pkt)
+	default:
+		panic(fmt.Sprintf("host %d: unknown packet type %v", h.cfg.ID, pkt.Type))
+	}
+}
+
+func (h *Host) handlePFC(pkt *packet.Packet) {
+	fc := pkt.FC
+	h.cfg.Sim.Schedule(core.PFCProcessingDelay(h.cfg.Rate), func() {
+		if fc.PortLevel {
+			h.port.SetPortPaused(fc.Pause)
+		} else {
+			h.port.SetClassPaused(fc.Class, fc.Pause)
+		}
+	})
+}
+
+func (h *Host) handleData(pkt *packet.Packet) {
+	h.rxData += pkt.Payload
+	rs := h.recv[pkt.FlowID]
+	if rs == nil {
+		rs = &recvState{lastCNP: -1}
+		h.recv[pkt.FlowID] = rs
+	}
+	rs.received += pkt.Payload
+	ack := packet.NewAck(pkt, rs.received, h.cfg.AckClass)
+	h.port.Enqueue(ack, 0)
+	if pkt.ECNMarked && h.cfg.CNPInterval > 0 {
+		now := h.cfg.Sim.Now()
+		if rs.lastCNP < 0 || now-rs.lastCNP >= h.cfg.CNPInterval {
+			rs.lastCNP = now
+			h.port.Enqueue(packet.NewCNP(pkt.FlowID, pkt.Dst, pkt.Src, h.cfg.AckClass), 0)
+		}
+	}
+	if pkt.Last {
+		delete(h.recv, pkt.FlowID) // flow fully received; free state
+	}
+}
+
+func (h *Host) handleAck(pkt *packet.Packet) {
+	f := h.flowIdx[pkt.FlowID]
+	if f == nil {
+		return // flow already completed (duplicate final ACK cannot happen, but be tolerant)
+	}
+	if pkt.Seq > f.Acked {
+		f.Acked = pkt.Seq
+	}
+	now := h.cfg.Sim.Now()
+	f.CC.OnAck(now, f, pkt)
+	if pkt.Last && f.Acked >= f.Size {
+		f.FinishedAt = now
+		h.removeFlow(f)
+		if h.cfg.OnFlowDone != nil {
+			h.cfg.OnFlowDone(f)
+		}
+	}
+	h.pump()
+}
+
+func (h *Host) handleCNP(pkt *packet.Packet) {
+	if f := h.flowIdx[pkt.FlowID]; f != nil {
+		f.CC.OnCNP(h.cfg.Sim.Now(), f)
+	}
+}
+
+func (h *Host) removeFlow(f *transport.Flow) {
+	delete(h.flowIdx, f.ID)
+	for i, g := range h.flows {
+		if g == f {
+			last := len(h.flows) - 1
+			h.flows[i] = h.flows[last]
+			h.flows[last] = nil
+			h.flows = h.flows[:last]
+			if h.rr > last {
+				h.rr = 0
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"testing"
+
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+func flowDone(id int, size units.ByteSize, fct units.Time, tag string) *transport.Flow {
+	return &transport.Flow{ID: id, Size: size, Start: 0, FinishedAt: fct, Tag: tag}
+}
+
+func TestFCTCollectorBasics(t *testing.T) {
+	c := NewFCTCollector()
+	c.Record(flowDone(1, 1000, 10*units.Microsecond, "bg"))
+	c.Record(flowDone(2, 1000, 20*units.Microsecond, "bg"))
+	c.Record(flowDone(3, 1000, 90*units.Microsecond, "fanin"))
+	if c.Count("") != 3 || c.Count("bg") != 2 || c.Count("fanin") != 1 {
+		t.Errorf("counts: all=%d bg=%d fanin=%d", c.Count(""), c.Count("bg"), c.Count("fanin"))
+	}
+	if got := c.Avg("bg"); got != 15*units.Microsecond {
+		t.Errorf("Avg(bg) = %v, want 15us", got)
+	}
+	if got := c.Avg("missing"); got != 0 {
+		t.Errorf("Avg(missing) = %v, want 0", got)
+	}
+	tags := c.Tags()
+	if len(tags) != 2 || tags[0] != "bg" || tags[1] != "fanin" {
+		t.Errorf("Tags = %v", tags)
+	}
+	if len(c.Records("bg")) != 2 {
+		t.Error("Records(bg) wrong length")
+	}
+}
+
+func TestFCTCollectorRejectsUnfinished(t *testing.T) {
+	c := NewFCTCollector()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Record(&transport.Flow{ID: 1, FinishedAt: -1})
+}
+
+func TestFCTPercentiles(t *testing.T) {
+	c := NewFCTCollector()
+	for i := 1; i <= 100; i++ {
+		c.Record(flowDone(i, 1000, units.Time(i)*units.Microsecond, "x"))
+	}
+	if got := c.Percentile("x", 0.5); got != 50*units.Microsecond {
+		t.Errorf("p50 = %v, want 50us", got)
+	}
+	if got := c.Percentile("x", 0.99); got != 99*units.Microsecond {
+		t.Errorf("p99 = %v, want 99us", got)
+	}
+	if got := c.Percentile("x", 1); got != 100*units.Microsecond {
+		t.Errorf("p100 = %v, want 100us", got)
+	}
+	if got := c.Percentile("none", 0.5); got != 0 {
+		t.Errorf("percentile of empty tag = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3, 2, 4})
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("min = %v", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+	if got := c.At(3); got != 0.6 {
+		t.Errorf("At(3) = %v, want 0.6", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	empty := NewCDF(nil)
+	if empty.Quantile(0.5) != 0 || empty.At(1) != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+}
+
+func TestPeakTracker(t *testing.T) {
+	p := &PeakTracker{}
+	for _, v := range []float64{0, 1, 3, 7, 5, 2, 0, 4, 9, 1, 1, 6} {
+		p.Feed(v)
+	}
+	p.Flush()
+	want := []float64{7, 9, 6}
+	got := p.Peaks()
+	if len(got) != len(want) {
+		t.Fatalf("peaks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peaks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPeakTrackerFlat(t *testing.T) {
+	p := &PeakTracker{}
+	for i := 0; i < 10; i++ {
+		p.Feed(5)
+	}
+	p.Flush()
+	// First sample rises from 0 to 5, never falls: exactly one peak.
+	if len(p.Peaks()) != 1 || p.Peaks()[0] != 5 {
+		t.Errorf("peaks = %v, want [5]", p.Peaks())
+	}
+}
+
+func TestPeakTrackerAllZero(t *testing.T) {
+	p := &PeakTracker{}
+	for i := 0; i < 5; i++ {
+		p.Feed(0)
+	}
+	p.Flush()
+	if len(p.Peaks()) != 0 {
+		t.Errorf("peaks = %v, want none", p.Peaks())
+	}
+}
+
+func TestThroughputMeter(t *testing.T) {
+	m := NewThroughputMeter(10 * units.Microsecond)
+	// 12500 bytes in bin 0 => 12500*8 bits / 10us = 10 Gbps.
+	m.Add(3*units.Microsecond, 6250)
+	m.Add(8*units.Microsecond, 6250)
+	m.Add(25*units.Microsecond, 12500) // bin 2
+	s := m.Series()
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3", len(s))
+	}
+	if s[0] != 10*units.Gbps {
+		t.Errorf("bin 0 = %v, want 10Gbps", s[0])
+	}
+	if s[1] != 0 {
+		t.Errorf("bin 1 = %v, want 0", s[1])
+	}
+	if s[2] != 10*units.Gbps {
+		t.Errorf("bin 2 = %v, want 10Gbps", s[2])
+	}
+	if m.Bin() != 10*units.Microsecond {
+		t.Errorf("Bin = %v", m.Bin())
+	}
+}
+
+func TestThroughputMeterBadBinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewThroughputMeter(0)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"dsh/internal/packet"
+	"dsh/internal/topology"
+	"dsh/units"
+)
+
+// PauseSummary aggregates PFC pause state over a whole network: how long
+// each side of the fabric spent paused, split by level and by where the
+// pause was experienced (host NICs vs switch egress ports).
+type PauseSummary struct {
+	// HostClassPaused sums queue-level pause time over all host uplinks
+	// and classes; HostPortPaused sums port-level pause time.
+	HostClassPaused units.Time
+	HostPortPaused  units.Time
+	// SwitchClassPaused and SwitchPortPaused are the same for switch
+	// egress ports (switch-to-switch and switch-to-host pauses).
+	SwitchClassPaused units.Time
+	SwitchPortPaused  units.Time
+	// Frames counts PAUSE transitions received anywhere.
+	Frames int64
+	// PerClass splits the class-level pause time by priority class.
+	PerClass [packet.NumClasses]units.Time
+}
+
+// Total returns all pause time combined.
+func (s PauseSummary) Total() units.Time {
+	return s.HostClassPaused + s.HostPortPaused + s.SwitchClassPaused + s.SwitchPortPaused
+}
+
+// CollectPauses walks the network and aggregates pause accounting.
+func CollectPauses(net *topology.Network) PauseSummary {
+	var s PauseSummary
+	for _, h := range net.Hosts {
+		p := h.Port()
+		for c := 0; c < p.Classes(); c++ {
+			d := p.ClassPausedTime(packet.Class(c))
+			s.HostClassPaused += d
+			s.PerClass[c] += d
+		}
+		s.HostPortPaused += p.PortPausedTime()
+		s.Frames += p.PauseFrames()
+	}
+	for _, sw := range net.Switches {
+		for i := 0; i < sw.Ports(); i++ {
+			p := sw.Port(i)
+			for c := 0; c < p.Classes(); c++ {
+				d := p.ClassPausedTime(packet.Class(c))
+				s.SwitchClassPaused += d
+				s.PerClass[c] += d
+			}
+			s.SwitchPortPaused += p.PortPausedTime()
+			s.Frames += p.PauseFrames()
+		}
+	}
+	return s
+}
+
+// OccupancySnapshot captures the buffer state of every switch at one
+// instant (for time-series sampling of shared-buffer usage).
+type OccupancySnapshot struct {
+	At units.Time
+	// SharedUsed and SharedCap sum the shared-segment state over switches.
+	SharedUsed units.ByteSize
+	SharedCap  units.ByteSize
+	// HeadroomUsed sums per-port headroom/insurance occupancy.
+	HeadroomUsed units.ByteSize
+}
+
+// SnapshotOccupancy reads the buffer state of all switches.
+func SnapshotOccupancy(net *topology.Network) OccupancySnapshot {
+	snap := OccupancySnapshot{At: net.Sim.Now()}
+	for _, sw := range net.Switches {
+		mmu := sw.MMU()
+		snap.SharedUsed += mmu.SharedUsed()
+		snap.SharedCap += mmu.SharedCap()
+		for p := 0; p < sw.Ports(); p++ {
+			snap.HeadroomUsed += mmu.HeadroomUsed(p)
+		}
+	}
+	return snap
+}

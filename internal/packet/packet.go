@@ -1,0 +1,195 @@
+// Package packet defines the on-wire unit exchanged by hosts and switches:
+// data segments, acknowledgements, DCQCN congestion notifications, and PFC
+// flow-control frames (both queue-level and DSH's port-level variant).
+package packet
+
+import (
+	"fmt"
+
+	"dsh/units"
+)
+
+// Type discriminates the packet kinds the simulator models.
+type Type uint8
+
+const (
+	// Data carries flow payload.
+	Data Type = iota + 1
+	// Ack acknowledges received payload (RDMA-style per-packet ACK).
+	Ack
+	// CNP is a DCQCN congestion notification packet sent by the receiver NIC.
+	CNP
+	// PFC is a priority flow control frame (PAUSE or RESUME), either for a
+	// single class or — under DSH — for the whole port.
+	PFC
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case CNP:
+		return "CNP"
+	case PFC:
+		return "PFC"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Class is an 802.1p priority class, 0..7. The PFC standard supports eight
+// classes per port; the evaluation reserves one for ACK/control traffic.
+type Class uint8
+
+// NumClasses is the number of priority classes per port in the PFC standard.
+const NumClasses = 8
+
+// Standard frame sizes.
+const (
+	// PFCFrameSize is the wire size of an 802.1Qbb PAUSE frame.
+	PFCFrameSize units.ByteSize = 64
+	// AckSize is the wire size of an acknowledgement.
+	AckSize units.ByteSize = 64
+	// CNPSize is the wire size of a DCQCN congestion notification.
+	CNPSize units.ByteSize = 64
+)
+
+// FlowControl carries the content of a PFC frame.
+type FlowControl struct {
+	// PortLevel marks DSH's port-level frame: a PFC frame with every
+	// priority's pause timer set (pause) or unset (resume).
+	PortLevel bool
+	// Class is the paused/resumed priority for queue-level frames.
+	Class Class
+	// Pause is true for PAUSE, false for RESUME (zero pause duration).
+	Pause bool
+}
+
+// INTHop is one hop's in-band telemetry record, stamped by switches at
+// dequeue time and consumed by PowerTCP.
+type INTHop struct {
+	// QLen is the egress queue backlog after this packet's dequeue.
+	QLen units.ByteSize
+	// TxBytes is the cumulative bytes the egress port has transmitted.
+	TxBytes units.ByteSize
+	// TS is the stamp time.
+	TS units.Time
+	// Rate is the egress link rate.
+	Rate units.BitRate
+}
+
+// MaxINTHops bounds the telemetry stack; datacenter paths are short.
+const MaxINTHops = 8
+
+// Packet is the unit of transmission. A packet is created by a sender (or a
+// switch, for PFC frames) and flows through links and switch queues to its
+// destination. Fields not relevant to the packet's Type stay zero.
+type Packet struct {
+	Type  Type
+	Size  units.ByteSize // wire size, including headers
+	Class Class
+
+	// Src and Dst are host IDs for routed packet types (Data/Ack/CNP).
+	Src, Dst int
+	// FlowID identifies the flow for Data/Ack/CNP packets; it also feeds the
+	// ECMP hash.
+	FlowID int
+
+	// Seq is the first payload byte's offset for Data, or the cumulative
+	// acknowledged byte count for Ack.
+	Seq units.ByteSize
+	// Payload is the number of payload bytes carried by a Data packet.
+	Payload units.ByteSize
+	// Last marks the final Data packet of a flow and its Ack echo.
+	Last bool
+
+	// ECN state: Capable is set for traffic under an ECN-reacting transport;
+	// Marked is set by switches (CE) and echoed on Acks.
+	ECNCapable bool
+	ECNMarked  bool
+
+	// FC is the flow-control content of a PFC frame.
+	FC FlowControl
+
+	// INT is the in-band telemetry stack for PowerTCP, stamped per hop on
+	// Data packets and echoed back on Acks.
+	INT []INTHop
+
+	// SentAt records when the sender injected the packet (for diagnostics).
+	SentAt units.Time
+}
+
+// NewData builds a data packet. wire size = payload + header overhead.
+func NewData(flowID, src, dst int, class Class, seq, payload units.ByteSize, hdr units.ByteSize) *Packet {
+	return &Packet{
+		Type:    Data,
+		Size:    payload + hdr,
+		Class:   class,
+		Src:     src,
+		Dst:     dst,
+		FlowID:  flowID,
+		Seq:     seq,
+		Payload: payload,
+	}
+}
+
+// NewAck builds the acknowledgement for a received data packet; cum is the
+// receiver's cumulative in-order byte count.
+func NewAck(data *Packet, cum units.ByteSize, ackClass Class) *Packet {
+	ack := &Packet{
+		Type:      Ack,
+		Size:      AckSize,
+		Class:     ackClass,
+		Src:       data.Dst,
+		Dst:       data.Src,
+		FlowID:    data.FlowID,
+		Seq:       cum,
+		Last:      data.Last,
+		ECNMarked: data.ECNMarked,
+	}
+	if len(data.INT) > 0 {
+		ack.INT = data.INT
+	}
+	return ack
+}
+
+// NewCNP builds a DCQCN congestion notification for the given flow.
+func NewCNP(flowID, src, dst int, class Class) *Packet {
+	return &Packet{Type: CNP, Size: CNPSize, Class: class, Src: src, Dst: dst, FlowID: flowID}
+}
+
+// NewPFC builds a queue-level PFC frame.
+func NewPFC(class Class, pause bool) *Packet {
+	return &Packet{Type: PFC, Size: PFCFrameSize, FC: FlowControl{Class: class, Pause: pause}}
+}
+
+// NewPortPFC builds a DSH port-level PFC frame (all pause timers set/unset).
+func NewPortPFC(pause bool) *Packet {
+	return &Packet{Type: PFC, Size: PFCFrameSize, FC: FlowControl{PortLevel: true, Pause: pause}}
+}
+
+// String renders a compact description for logs and test failures.
+func (p *Packet) String() string {
+	switch p.Type {
+	case PFC:
+		verb := "RESUME"
+		if p.FC.Pause {
+			verb = "PAUSE"
+		}
+		if p.FC.PortLevel {
+			return fmt.Sprintf("PFC[port %s]", verb)
+		}
+		return fmt.Sprintf("PFC[class %d %s]", p.FC.Class, verb)
+	case Data:
+		return fmt.Sprintf("DATA[flow %d seq %d len %d cls %d]", p.FlowID, p.Seq, p.Payload, p.Class)
+	case Ack:
+		return fmt.Sprintf("ACK[flow %d cum %d]", p.FlowID, p.Seq)
+	case CNP:
+		return fmt.Sprintf("CNP[flow %d]", p.FlowID)
+	default:
+		return fmt.Sprintf("%v[?]", p.Type)
+	}
+}

@@ -1,0 +1,120 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+
+	"dsh/units"
+)
+
+func TestNewData(t *testing.T) {
+	p := NewData(7, 1, 2, 3, 1000, 1452, 48)
+	if p.Type != Data || p.Size != 1500 || p.Payload != 1452 {
+		t.Errorf("bad data packet: %+v", p)
+	}
+	if p.FlowID != 7 || p.Src != 1 || p.Dst != 2 || p.Class != 3 || p.Seq != 1000 {
+		t.Errorf("bad identity fields: %+v", p)
+	}
+	if p.Last || p.ECNMarked {
+		t.Error("flags should start clear")
+	}
+}
+
+func TestNewAckEchoes(t *testing.T) {
+	d := NewData(7, 1, 2, 3, 0, 1452, 48)
+	d.Last = true
+	d.ECNMarked = true
+	d.INT = []INTHop{{QLen: 100, TS: 5}}
+	ack := NewAck(d, 1452, 7)
+	if ack.Type != Ack || ack.Size != AckSize {
+		t.Errorf("bad ack: %+v", ack)
+	}
+	if ack.Src != 2 || ack.Dst != 1 {
+		t.Error("ack direction not reversed")
+	}
+	if ack.Seq != 1452 || !ack.Last || !ack.ECNMarked {
+		t.Error("ack does not echo cum/Last/ECN")
+	}
+	if len(ack.INT) != 1 || ack.INT[0].QLen != 100 {
+		t.Error("ack does not echo INT stack")
+	}
+	if ack.Class != 7 {
+		t.Errorf("ack class = %d, want 7", ack.Class)
+	}
+}
+
+func TestNewAckWithoutINT(t *testing.T) {
+	d := NewData(7, 1, 2, 3, 0, 100, 48)
+	ack := NewAck(d, 100, 7)
+	if ack.INT != nil {
+		t.Error("ack invented an INT stack")
+	}
+}
+
+func TestNewCNP(t *testing.T) {
+	c := NewCNP(9, 2, 1, 7)
+	if c.Type != CNP || c.Size != CNPSize || c.FlowID != 9 || c.Src != 2 || c.Dst != 1 {
+		t.Errorf("bad CNP: %+v", c)
+	}
+}
+
+func TestNewPFC(t *testing.T) {
+	p := NewPFC(3, true)
+	if p.Type != PFC || p.Size != PFCFrameSize {
+		t.Errorf("bad PFC: %+v", p)
+	}
+	if p.FC.PortLevel || p.FC.Class != 3 || !p.FC.Pause {
+		t.Errorf("bad FC content: %+v", p.FC)
+	}
+	r := NewPFC(3, false)
+	if r.FC.Pause {
+		t.Error("resume frame marked as pause")
+	}
+}
+
+func TestNewPortPFC(t *testing.T) {
+	p := NewPortPFC(true)
+	if !p.FC.PortLevel || !p.FC.Pause {
+		t.Errorf("bad port PFC: %+v", p.FC)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	tests := []struct {
+		pkt  *Packet
+		want string
+	}{
+		{NewData(1, 0, 1, 2, 0, 100, 0), "DATA[flow 1"},
+		{NewAck(NewData(1, 0, 1, 2, 0, 100, 0), 100, 7), "ACK[flow 1"},
+		{NewCNP(1, 0, 1, 7), "CNP[flow 1]"},
+		{NewPFC(2, true), "PFC[class 2 PAUSE]"},
+		{NewPFC(2, false), "PFC[class 2 RESUME]"},
+		{NewPortPFC(true), "PFC[port PAUSE]"},
+		{NewPortPFC(false), "PFC[port RESUME]"},
+	}
+	for _, tt := range tests {
+		if got := tt.pkt.String(); !strings.Contains(got, tt.want) {
+			t.Errorf("String() = %q, want containing %q", got, tt.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{Data: "DATA", Ack: "ACK", CNP: "CNP", PFC: "PFC", Type(99): "Type(99)"} {
+		if got := ty.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestFrameSizes(t *testing.T) {
+	// 802.1Qbb minimum frame sizes.
+	if PFCFrameSize != 64 || AckSize != 64 || CNPSize != 64 {
+		t.Error("control frame sizes changed")
+	}
+	if NumClasses != 8 {
+		t.Error("PFC defines 8 priority classes")
+	}
+	var total units.ByteSize = PFCFrameSize
+	_ = total
+}

@@ -1,0 +1,125 @@
+// Package routing computes shortest-path route tables with equal-cost
+// multi-path (ECMP) selection for arbitrary topologies.
+//
+// Node IDs are global across hosts and switches; the topology package
+// assigns them. Route tables map a destination host to the set of egress
+// ports on equal-cost shortest paths; a per-flow hash picks one, so all
+// packets of a flow follow a single path (in-order delivery).
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"dsh/internal/packet"
+)
+
+// Link is one directed edge of the wiring graph.
+type Link struct {
+	// From and To are node IDs.
+	From, To int
+	// FromPort is the egress port index on From.
+	FromPort int
+	// Up marks the link usable; failed links are excluded from routes.
+	Up bool
+}
+
+// Table is one node's forwarding table.
+type Table struct {
+	// next[dst] lists candidate egress ports, sorted for determinism.
+	next map[int][]int
+}
+
+// NextHops returns the ECMP port set toward dst (nil if unreachable).
+func (t *Table) NextHops(dst int) []int { return t.next[dst] }
+
+// Route implements the switchdev.Route signature: it hashes the flow ID
+// over the equal-cost port set.
+func (t *Table) Route(pkt *packet.Packet, _ int) int {
+	ports := t.next[pkt.Dst]
+	switch len(ports) {
+	case 0:
+		panic(fmt.Sprintf("routing: no route to host %d", pkt.Dst))
+	case 1:
+		return ports[0]
+	default:
+		return ports[ecmpHash(pkt.FlowID)%uint64(len(ports))]
+	}
+}
+
+// ecmpHash is a splitmix64 finalizer: cheap, deterministic, well-mixed.
+func ecmpHash(flowID int) uint64 {
+	z := uint64(flowID) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ComputeECMP builds route tables for every node. hosts lists the node IDs
+// that are traffic endpoints; numNodes bounds the ID space. Only links with
+// Up=true participate. The result maps node ID to its table; host tables
+// contain their single uplink toward every destination.
+func ComputeECMP(numNodes int, links []Link, hosts []int) map[int]*Table {
+	// Adjacency, both directions resolved from the directed link list.
+	type edge struct{ to, port int }
+	adj := make([][]edge, numNodes)
+	for _, l := range links {
+		if !l.Up {
+			continue
+		}
+		if l.From < 0 || l.From >= numNodes || l.To < 0 || l.To >= numNodes {
+			panic(fmt.Sprintf("routing: link %+v outside node space %d", l, numNodes))
+		}
+		adj[l.From] = append(adj[l.From], edge{to: l.To, port: l.FromPort})
+	}
+
+	tables := make(map[int]*Table, numNodes)
+	for n := 0; n < numNodes; n++ {
+		tables[n] = &Table{next: make(map[int][]int)}
+	}
+
+	// One reverse BFS per destination host yields each node's distance to
+	// it; next hops are neighbours one step closer.
+	dist := make([]int, numNodes)
+	queue := make([]int, 0, numNodes)
+	// Reverse adjacency: redge[to] lists nodes that can reach `to` directly.
+	radj := make([][]int, numNodes)
+	for from, es := range adj {
+		for _, e := range es {
+			radj[e.to] = append(radj[e.to], from)
+		}
+	}
+	for _, dst := range hosts {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], dst)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range radj[v] {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		for n := 0; n < numNodes; n++ {
+			if n == dst || dist[n] < 0 {
+				continue
+			}
+			var ports []int
+			for _, e := range adj[n] {
+				if dist[e.to] == dist[n]-1 {
+					ports = append(ports, e.port)
+				}
+			}
+			sort.Ints(ports)
+			if len(ports) > 0 {
+				tables[n].next[dst] = ports
+			}
+		}
+	}
+	return tables
+}

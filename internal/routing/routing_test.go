@@ -1,0 +1,191 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/packet"
+)
+
+// lineTopo builds a chain: h0(0) - s0(2) - s1(3) - h1(1).
+func lineTopo() (int, []Link, []int) {
+	links := []Link{
+		{From: 0, FromPort: 0, To: 2, Up: true},
+		{From: 2, FromPort: 0, To: 0, Up: true},
+		{From: 2, FromPort: 1, To: 3, Up: true},
+		{From: 3, FromPort: 0, To: 2, Up: true},
+		{From: 3, FromPort: 1, To: 1, Up: true},
+		{From: 1, FromPort: 0, To: 3, Up: true},
+	}
+	return 4, links, []int{0, 1}
+}
+
+func TestShortestPathChain(t *testing.T) {
+	n, links, hosts := lineTopo()
+	tables := ComputeECMP(n, links, hosts)
+	// s0 toward h1 must use port 1 (to s1).
+	if got := tables[2].NextHops(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("s0->h1 next hops = %v, want [1]", got)
+	}
+	// s1 toward h0 must use port 0 (to s0).
+	if got := tables[3].NextHops(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("s1->h0 next hops = %v, want [0]", got)
+	}
+	// Host uplink.
+	if got := tables[0].NextHops(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("h0 uplink = %v, want [0]", got)
+	}
+}
+
+// diamond: h0(0) - s0(2) - {s1(3), s2(4)} - s3(5) - h1(1)
+func diamondTopo() (int, []Link, []int) {
+	var links []Link
+	duplex := func(a, ap, b, bp int) {
+		links = append(links,
+			Link{From: a, FromPort: ap, To: b, Up: true},
+			Link{From: b, FromPort: bp, To: a, Up: true})
+	}
+	duplex(0, 0, 2, 0)
+	duplex(2, 1, 3, 0)
+	duplex(2, 2, 4, 0)
+	duplex(3, 1, 5, 0)
+	duplex(4, 1, 5, 1)
+	duplex(5, 2, 1, 0)
+	return 6, links, []int{0, 1}
+}
+
+func TestECMPEqualCostPaths(t *testing.T) {
+	n, links, hosts := diamondTopo()
+	tables := ComputeECMP(n, links, hosts)
+	got := tables[2].NextHops(1)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("s0->h1 ECMP ports = %v, want [1 2]", got)
+	}
+}
+
+func TestECMPHashDeterministicAndSpreading(t *testing.T) {
+	n, links, hosts := diamondTopo()
+	tables := ComputeECMP(n, links, hosts)
+	table := tables[2]
+	counts := map[int]int{}
+	for flow := 0; flow < 1000; flow++ {
+		pkt := &packet.Packet{Dst: 1, FlowID: flow}
+		p1 := table.Route(pkt, 0)
+		p2 := table.Route(pkt, 0)
+		if p1 != p2 {
+			t.Fatal("ECMP not deterministic per flow")
+		}
+		counts[p1]++
+	}
+	if counts[1] < 300 || counts[2] < 300 {
+		t.Errorf("ECMP imbalance: %v", counts)
+	}
+}
+
+func TestFailedLinkExcluded(t *testing.T) {
+	n, links, hosts := diamondTopo()
+	// Fail s0->s1 both directions.
+	for i := range links {
+		if (links[i].From == 2 && links[i].To == 3) || (links[i].From == 3 && links[i].To == 2) {
+			links[i].Up = false
+		}
+	}
+	tables := ComputeECMP(n, links, hosts)
+	got := tables[2].NextHops(1)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("after failure, s0->h1 = %v, want [2]", got)
+	}
+}
+
+func TestUnreachableDestination(t *testing.T) {
+	n, links, hosts := lineTopo()
+	// Fail the only s0-s1 link.
+	for i := range links {
+		if (links[i].From == 2 && links[i].To == 3) || (links[i].From == 3 && links[i].To == 2) {
+			links[i].Up = false
+		}
+	}
+	tables := ComputeECMP(n, links, hosts)
+	if got := tables[2].NextHops(1); got != nil {
+		t.Errorf("unreachable dst has next hops %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Route to unreachable dst should panic")
+		}
+	}()
+	tables[2].Route(&packet.Packet{Dst: 1, FlowID: 5}, 0)
+}
+
+func TestBouncePathAfterAsymmetricFailures(t *testing.T) {
+	// Mini version of the deadlock topology: 2 spines (4,5), 4 leaves
+	// (0..3 are hosts? no). Nodes: hosts 0..3 under leaves 4..7,
+	// spines 8,9. Fail spine8-leaf7 and spine9-leaf4.
+	var links []Link
+	duplex := func(a, ap, b, bp int, up bool) {
+		links = append(links,
+			Link{From: a, FromPort: ap, To: b, Up: up},
+			Link{From: b, FromPort: bp, To: a, Up: up})
+	}
+	for l := 0; l < 4; l++ {
+		duplex(l, 0, 4+l, 0, true) // host l under leaf 4+l
+	}
+	for l := 0; l < 4; l++ {
+		duplex(4+l, 1, 8, l, !(l == 3)) // to spine 8; leaf7 failed
+		duplex(4+l, 2, 9, l, !(l == 0)) // to spine 9; leaf4 failed
+	}
+	tables := ComputeECMP(10, links, []int{0, 1, 2, 3})
+	// Host0 (leaf4) to host3 (leaf7): leaf4 can only reach spine8; spine8
+	// cannot reach leaf7, so the path must bounce: 4hops via another leaf.
+	hops := tables[4].NextHops(3)
+	if len(hops) == 0 {
+		t.Fatal("no bounce path found")
+	}
+	if hops[0] != 1 {
+		t.Errorf("leaf4 must go via spine8 (port 1), got ports %v", hops)
+	}
+	// Spine 8 toward host 3 must relay via leaf 5 or 6 (ports 1,2).
+	sp := tables[8].NextHops(3)
+	if len(sp) != 2 || sp[0] != 1 || sp[1] != 2 {
+		t.Errorf("spine8 relay ports = %v, want [1 2]", sp)
+	}
+}
+
+func TestRouteSinglePathSkipsHash(t *testing.T) {
+	n, links, hosts := lineTopo()
+	tables := ComputeECMP(n, links, hosts)
+	for flow := 0; flow < 50; flow++ {
+		if got := tables[2].Route(&packet.Packet{Dst: 1, FlowID: flow}, 0); got != 1 {
+			t.Fatalf("Route = %d, want 1", got)
+		}
+	}
+}
+
+func TestBadLinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ComputeECMP(2, []Link{{From: 0, To: 5, Up: true}}, []int{0})
+}
+
+// Property: the ECMP hash is uniform enough that no port of an 8-way group
+// is starved over sequential flow IDs.
+func TestECMPHashUniformity(t *testing.T) {
+	f := func(offset uint16) bool {
+		counts := make([]int, 8)
+		for i := 0; i < 800; i++ {
+			counts[ecmpHash(int(offset)+i)%8]++
+		}
+		for _, c := range counts {
+			if c < 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim implements the deterministic discrete-event engine every other
+// component of the simulator is driven by.
+//
+// Events are callbacks scheduled at absolute simulated times. Events with
+// equal timestamps fire in scheduling order (FIFO tie-break), which makes
+// whole-network runs reproducible bit-for-bit for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dsh/units"
+)
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires; cancellation is cheap (the entry is dropped lazily when popped).
+type Event struct {
+	at        units.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// At returns the simulated time the event is scheduled to fire at.
+func (e *Event) At() units.Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil
+	}
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending event set.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now       units.Time
+	queue     eventQueue
+	seq       uint64
+	stopped   bool
+	processed uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{queue: make(eventQueue, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() units.Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled entries not yet reaped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs fn after the given non-negative delay.
+func (s *Simulator) Schedule(delay units.Time, fn func()) *Event {
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at the given absolute time, which must not be in the past.
+func (s *Simulator) At(t units.Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Stop makes the current Run/RunUntil call return after the in-progress
+// event completes. Pending events stay queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= deadline (every event when
+// deadline is negative), advancing the clock to the deadline afterwards when
+// it is non-negative. It returns when the queue drains, the deadline passes,
+// or Stop is called.
+func (s *Simulator) RunUntil(deadline units.Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if deadline >= 0 && ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		s.processed++
+		fn()
+	}
+	if deadline >= 0 && s.now < deadline && !s.stopped {
+		s.now = deadline
+	}
+}

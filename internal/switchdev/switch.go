@@ -1,0 +1,314 @@
+// Package switchdev models a shared-memory output-queued switch: ingress
+// admission through the core MMU (SIH or DSH headroom scheme), egress
+// per-class queues with DWRR scheduling, PFC frame generation and handling,
+// RED/ECN marking for DCQCN, and INT telemetry stamping for PowerTCP.
+package switchdev
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsh/internal/core"
+	"dsh/internal/eport"
+	"dsh/internal/packet"
+	"dsh/internal/sim"
+	"dsh/units"
+)
+
+// Route decides the egress port for a routed packet entering on inPort.
+type Route func(pkt *packet.Packet, inPort int) int
+
+// ECNConfig enables RED-style ECN marking on egress queues (the DCQCN
+// congestion point). A packet is marked with probability 0 below KMin,
+// PMax·(q−KMin)/(KMax−KMin) between the knees, and 1 above KMax.
+type ECNConfig struct {
+	KMin units.ByteSize
+	KMax units.ByteSize
+	PMax float64
+}
+
+// Config parameterises a switch.
+type Config struct {
+	Sim  *sim.Simulator
+	Name string
+	// Ports is the port count; every port must be wired before traffic.
+	Ports int
+	// Classes is the number of priority classes (8).
+	Classes int
+	// AckClass is the strict-priority class (−1 to disable).
+	AckClass int
+	// Quantum is the egress DWRR quantum.
+	Quantum units.ByteSize
+	// MMU is the ingress buffer manager (core.NewSIH / core.NewDSH).
+	MMU core.MMU
+	// ECN, when non-nil, enables marking.
+	ECN *ECNConfig
+	// INT enables PowerTCP telemetry stamping at dequeue.
+	INT bool
+	// PauseTimeout enables 802.1Qbb pause-timer semantics on the egress
+	// ports (zero = ON/OFF model; see eport.Config.PauseTimeout).
+	PauseTimeout units.Time
+	// Seed seeds the switch-local RNG (ECN coin flips).
+	Seed int64
+}
+
+// Switch is one device. All methods run on the simulator goroutine.
+type Switch struct {
+	cfg    Config
+	eports []*eport.Port
+	route  Route
+	rng    *rand.Rand
+
+	// charged[in][out] tracks buffered bytes by (ingress, egress) port
+	// pair, used by the deadlock detector's wait-for graph.
+	charged [][]units.ByteSize
+
+	// rxBytes counts received routed bytes per ingress port.
+	rxBytes []units.ByteSize
+	marks   int64
+
+	// refreshing tracks armed pause-refresh loops (pause-timer mode).
+	refreshing map[refreshKey]bool
+}
+
+// refreshKey identifies one pause-refresh loop.
+type refreshKey struct {
+	port      int
+	class     packet.Class
+	portLevel bool
+}
+
+// New builds a switch. Ports are created immediately; wire them with
+// Port(i).Connect(...) and deliver into the switch with Input(i).
+func New(cfg Config, rates []units.BitRate, props []units.Time) *Switch {
+	if cfg.Sim == nil || cfg.MMU == nil {
+		panic("switchdev: Sim and MMU are required")
+	}
+	if cfg.Ports <= 0 || len(rates) != cfg.Ports || len(props) != cfg.Ports {
+		panic(fmt.Sprintf("switchdev: %d ports need %d rates/props", cfg.Ports, cfg.Ports))
+	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = packet.NumClasses
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1600
+	}
+	sw := &Switch{
+		cfg:        cfg,
+		eports:     make([]*eport.Port, cfg.Ports),
+		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		charged:    make([][]units.ByteSize, cfg.Ports),
+		rxBytes:    make([]units.ByteSize, cfg.Ports),
+		refreshing: make(map[refreshKey]bool),
+	}
+	for i := range sw.charged {
+		sw.charged[i] = make([]units.ByteSize, cfg.Ports)
+	}
+	for i := 0; i < cfg.Ports; i++ {
+		out := i
+		sw.eports[i] = eport.New(eport.Config{
+			Sim:          cfg.Sim,
+			Rate:         rates[i],
+			Prop:         props[i],
+			Classes:      cfg.Classes,
+			Quantum:      cfg.Quantum,
+			StrictClass:  cfg.AckClass,
+			PauseTimeout: cfg.PauseTimeout,
+			OnDeparture:  func(pkt *packet.Packet, cookie int64) { sw.onDeparture(out, pkt, cookie) },
+			OnDequeue: func(pkt *packet.Packet, qlen, tx units.ByteSize) {
+				sw.onDequeue(out, pkt, qlen, tx)
+			},
+		})
+	}
+	return sw
+}
+
+// Name returns the configured switch name.
+func (sw *Switch) Name() string { return sw.cfg.Name }
+
+// MMU exposes the buffer manager (metrics, tests).
+func (sw *Switch) MMU() core.MMU { return sw.cfg.MMU }
+
+// Ports returns the port count.
+func (sw *Switch) Ports() int { return sw.cfg.Ports }
+
+// Port returns egress port i for wiring and inspection.
+func (sw *Switch) Port(i int) *eport.Port { return sw.eports[i] }
+
+// SetRoute installs the forwarding function.
+func (sw *Switch) SetRoute(r Route) { sw.route = r }
+
+// Marks returns the number of ECN-marked packets.
+func (sw *Switch) Marks() int64 { return sw.marks }
+
+// RxBytes returns routed bytes received on a port.
+func (sw *Switch) RxBytes(port int) units.ByteSize { return sw.rxBytes[port] }
+
+// ChargedBytes returns buffered bytes that entered on ingress port in and
+// wait in egress port out.
+func (sw *Switch) ChargedBytes(in, out int) units.ByteSize { return sw.charged[in][out] }
+
+// input adapts one ingress port to the eport.Receiver interface.
+type input struct {
+	sw   *Switch
+	port int
+}
+
+// Receive implements eport.Receiver.
+func (in input) Receive(pkt *packet.Packet) { in.sw.receive(in.port, pkt) }
+
+// Input returns the receiver the upstream device delivers into for port i.
+func (sw *Switch) Input(i int) eport.Receiver { return input{sw: sw, port: i} }
+
+const (
+	cookieClassBits = 4
+	cookieClassMask = (1 << cookieClassBits) - 1
+)
+
+func cookie(inPort int, cls packet.Class) int64 {
+	return int64(inPort)<<cookieClassBits | int64(cls)
+}
+
+func cookiePort(c int64) int           { return int(c >> cookieClassBits) }
+func cookieClass(c int64) packet.Class { return packet.Class(c & cookieClassMask) }
+
+// receive is the ingress pipeline.
+func (sw *Switch) receive(inPort int, pkt *packet.Packet) {
+	if pkt.Type == packet.PFC {
+		sw.handlePFC(inPort, pkt)
+		return
+	}
+	if sw.route == nil {
+		panic(fmt.Sprintf("switchdev[%s]: no route installed", sw.cfg.Name))
+	}
+	sw.rxBytes[inPort] += pkt.Size
+	out := sw.route(pkt, inPort)
+	if out < 0 || out >= sw.cfg.Ports {
+		panic(fmt.Sprintf("switchdev[%s]: route returned invalid port %d", sw.cfg.Name, out))
+	}
+	ok, acts := sw.cfg.MMU.Admit(inPort, pkt.Class, pkt.Size)
+	sw.emit(acts)
+	if !ok {
+		return // dropped; counted by the MMU
+	}
+	if sw.cfg.ECN != nil && pkt.Type == packet.Data && pkt.ECNCapable && !pkt.ECNMarked {
+		sw.maybeMark(pkt, out)
+	}
+	sw.charged[inPort][out] += pkt.Size
+	sw.eports[out].Enqueue(pkt, cookie(inPort, pkt.Class))
+}
+
+// handlePFC applies a received PAUSE/RESUME to this port's egress side after
+// the PFC-standard processing delay (3840 B at port rate).
+func (sw *Switch) handlePFC(inPort int, pkt *packet.Packet) {
+	p := sw.eports[inPort]
+	fc := pkt.FC
+	sw.cfg.Sim.Schedule(core.PFCProcessingDelay(p.Rate()), func() {
+		if fc.PortLevel {
+			p.SetPortPaused(fc.Pause)
+		} else {
+			p.SetClassPaused(fc.Class, fc.Pause)
+		}
+	})
+}
+
+// onDeparture un-charges the packet from the MMU when its last bit leaves.
+func (sw *Switch) onDeparture(out int, pkt *packet.Packet, ck int64) {
+	if pkt.Type == packet.PFC {
+		return
+	}
+	in := cookiePort(ck)
+	sw.charged[in][out] -= pkt.Size
+	acts := sw.cfg.MMU.Release(in, cookieClass(ck), pkt.Size)
+	sw.emit(acts)
+}
+
+// onDequeue stamps INT telemetry when enabled.
+func (sw *Switch) onDequeue(out int, pkt *packet.Packet, qlen, tx units.ByteSize) {
+	if !sw.cfg.INT || pkt.Type != packet.Data {
+		return
+	}
+	if len(pkt.INT) >= packet.MaxINTHops {
+		return
+	}
+	p := sw.eports[out]
+	pkt.INT = append(pkt.INT, packet.INTHop{
+		QLen:    qlen,
+		TxBytes: tx,
+		TS:      sw.cfg.Sim.Now(),
+		Rate:    p.Rate(),
+	})
+}
+
+// emit converts MMU actions into PFC frames sent out of the ingress port's
+// egress side (back to the upstream device). In pause-timer mode every
+// pause also arms a refresh loop that re-sends the PAUSE before the
+// upstream's timer expires, for as long as the MMU stays congested —
+// mirroring how real MACs regenerate pause frames.
+func (sw *Switch) emit(acts []core.Action) {
+	for _, a := range acts {
+		var frame *packet.Packet
+		if a.PortLevel {
+			frame = packet.NewPortPFC(a.Pause)
+		} else {
+			frame = packet.NewPFC(a.Class, a.Pause)
+		}
+		sw.eports[a.Port].EnqueueControl(frame)
+		if sw.cfg.PauseTimeout > 0 && a.Pause {
+			sw.armRefresh(a)
+		}
+	}
+}
+
+// armRefresh starts (once) the periodic PAUSE regeneration for a paused
+// ingress queue or port.
+func (sw *Switch) armRefresh(a core.Action) {
+	k := refreshKey{port: a.Port, class: a.Class, portLevel: a.PortLevel}
+	if sw.refreshing[k] {
+		return
+	}
+	sw.refreshing[k] = true
+	period := sw.cfg.PauseTimeout / 2
+	var tick func()
+	tick = func() {
+		var paused bool
+		if k.portLevel {
+			paused = sw.cfg.MMU.PortPaused(k.port)
+		} else {
+			paused = sw.cfg.MMU.QueuePaused(k.port, k.class)
+		}
+		if !paused {
+			delete(sw.refreshing, k)
+			return
+		}
+		var frame *packet.Packet
+		if k.portLevel {
+			frame = packet.NewPortPFC(true)
+		} else {
+			frame = packet.NewPFC(k.class, true)
+		}
+		sw.eports[k.port].EnqueueControl(frame)
+		sw.cfg.Sim.Schedule(period, tick)
+	}
+	sw.cfg.Sim.Schedule(period, tick)
+}
+
+// maybeMark applies RED marking against the egress class backlog.
+func (sw *Switch) maybeMark(pkt *packet.Packet, out int) {
+	q := sw.eports[out].ClassBacklog(pkt.Class)
+	e := sw.cfg.ECN
+	switch {
+	case q <= e.KMin:
+		return
+	case q >= e.KMax:
+		pkt.ECNMarked = true
+	default:
+		p := e.PMax * float64(q-e.KMin) / float64(e.KMax-e.KMin)
+		if sw.rng.Float64() < p {
+			pkt.ECNMarked = true
+		}
+	}
+	if pkt.ECNMarked {
+		sw.marks++
+	}
+}

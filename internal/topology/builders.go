@@ -1,0 +1,220 @@
+package topology
+
+import (
+	"fmt"
+
+	"dsh/units"
+)
+
+// SingleSwitch builds the Fig. 11a microbenchmark unit: one Tomahawk-like
+// switch with nHosts hosts, one per port, all at the same rate. Host i sits
+// on switch port i.
+func SingleSwitch(cfg Config, nHosts int, rate units.BitRate) *Network {
+	cfg.setDefaults()
+	n := newNetwork(cfg)
+	for i := 0; i < nHosts; i++ {
+		n.newHost(rate)
+	}
+	n.newSwitch("s0", uniformRates(nHosts, rate))
+	swNode := n.SwitchNode(0)
+	for i := 0; i < nHosts; i++ {
+		n.connect(i, 0, swNode, i)
+	}
+	n.ComputeRoutes()
+	return n
+}
+
+// CollateralDamage holds the Fig. 13a unit and its notable hosts.
+type CollateralDamage struct {
+	*Network
+	// H0 and H1 source the long-lived flows F0 and F1.
+	H0, H1 int
+	// FanHosts source the 24 concurrent fan-in flows.
+	FanHosts []int
+	// R0 and R1 are the receivers of F0 and F1 (and the fan-in target R1).
+	R0, R1 int
+}
+
+// CollateralUnit builds Fig. 13a: H0, H1 on switch S0; fanIn sender hosts,
+// R0, and R1 on switch S1; a single S0–S1 link carries F0 and F1, so a PFC
+// pause of that link collaterally damages the innocent F0.
+func CollateralUnit(cfg Config, fanIn int, rate units.BitRate) *CollateralDamage {
+	cfg.setDefaults()
+	n := newNetwork(cfg)
+	// Hosts: 0=H0, 1=H1, 2..fanIn+1 = fan-in senders, then R0, R1.
+	for i := 0; i < fanIn+4; i++ {
+		n.newHost(rate)
+	}
+	s0 := n.newSwitch("s0", uniformRates(3, rate))
+	s1 := n.newSwitch("s1", uniformRates(fanIn+3, rate))
+	_, _ = s0, s1
+	s0n, s1n := n.SwitchNode(0), n.SwitchNode(1)
+
+	cd := &CollateralDamage{Network: n, H0: 0, H1: 1, R0: fanIn + 2, R1: fanIn + 3}
+	n.connect(cd.H0, 0, s0n, 0)
+	n.connect(cd.H1, 0, s0n, 1)
+	n.connect(s0n, 2, s1n, fanIn+2)
+	for i := 0; i < fanIn; i++ {
+		hostID := 2 + i
+		cd.FanHosts = append(cd.FanHosts, hostID)
+		n.connect(hostID, 0, s1n, i)
+	}
+	n.connect(cd.R0, 0, s1n, fanIn)
+	n.connect(cd.R1, 0, s1n, fanIn+1)
+	n.ComputeRoutes()
+	return cd
+}
+
+// DeadlockTopo holds the Fig. 12a topology and its structure.
+type DeadlockTopo struct {
+	*Network
+	// LeafHosts[l] lists host IDs under leaf l (0..3).
+	LeafHosts [][]int
+	// LeafNode[l] and SpineNode[s] are switch node IDs.
+	LeafNode  []int
+	SpineNode []int
+}
+
+// Deadlock builds Fig. 12a: two spines, four leaves, hostsPerLeaf hosts per
+// leaf at downRate, uplinks at upRate, with the S0–L3 and S1–L0 links
+// failed. Shortest-path routing over the remaining links produces 1-bounce
+// paths (e.g. L0→S0→L1→S1→L3) and with it the cyclic buffer dependency
+// S0→L1→S1→L2→S0 the paper marks in red.
+func Deadlock(cfg Config, hostsPerLeaf int, downRate, upRate units.BitRate) *DeadlockTopo {
+	cfg.setDefaults()
+	n := newNetwork(cfg)
+	const leaves, spines = 4, 2
+	dt := &DeadlockTopo{Network: n, LeafHosts: make([][]int, leaves)}
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < hostsPerLeaf; i++ {
+			h := n.newHost(downRate)
+			dt.LeafHosts[l] = append(dt.LeafHosts[l], h.ID())
+		}
+	}
+	for l := 0; l < leaves; l++ {
+		rates := append(uniformRates(hostsPerLeaf, downRate), upRate, upRate)
+		n.newSwitch(fmt.Sprintf("l%d", l), rates)
+		dt.LeafNode = append(dt.LeafNode, n.SwitchNode(l))
+	}
+	for s := 0; s < spines; s++ {
+		n.newSwitch(fmt.Sprintf("s%d", s), uniformRates(leaves, upRate))
+		dt.SpineNode = append(dt.SpineNode, n.SwitchNode(leaves+s))
+	}
+	for l := 0; l < leaves; l++ {
+		for i, h := range dt.LeafHosts[l] {
+			n.connect(h, 0, dt.LeafNode[l], i)
+		}
+		// Leaf uplink ports: hostsPerLeaf → S0, hostsPerLeaf+1 → S1.
+		n.connect(dt.LeafNode[l], hostsPerLeaf, dt.SpineNode[0], l)
+		n.connect(dt.LeafNode[l], hostsPerLeaf+1, dt.SpineNode[1], l)
+	}
+	// Failed links (dashed in Fig. 12a): S0–L3 and S1–L0.
+	n.FailLink(dt.SpineNode[0], 3)
+	n.FailLink(dt.SpineNode[1], 0)
+	n.ComputeRoutes()
+	return dt
+}
+
+// LeafSpineTopo holds a leaf–spine fabric.
+type LeafSpineTopo struct {
+	*Network
+	// LeafHosts[l] lists host IDs under leaf l.
+	LeafHosts [][]int
+	LeafNode  []int
+	SpineNode []int
+}
+
+// LeafSpine builds the §V-B fabric: `leaves` leaf switches each with
+// hostsPerLeaf hosts at downRate and one upRate uplink to each of `spines`
+// spine switches (full bisection when rates and counts match).
+func LeafSpine(cfg Config, leaves, spines, hostsPerLeaf int, downRate, upRate units.BitRate) *LeafSpineTopo {
+	cfg.setDefaults()
+	n := newNetwork(cfg)
+	ls := &LeafSpineTopo{Network: n, LeafHosts: make([][]int, leaves)}
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < hostsPerLeaf; i++ {
+			h := n.newHost(downRate)
+			ls.LeafHosts[l] = append(ls.LeafHosts[l], h.ID())
+		}
+	}
+	for l := 0; l < leaves; l++ {
+		rates := append(uniformRates(hostsPerLeaf, downRate), uniformRates(spines, upRate)...)
+		n.newSwitch(fmt.Sprintf("l%d", l), rates)
+		ls.LeafNode = append(ls.LeafNode, n.SwitchNode(l))
+	}
+	for s := 0; s < spines; s++ {
+		n.newSwitch(fmt.Sprintf("s%d", s), uniformRates(leaves, upRate))
+		ls.SpineNode = append(ls.SpineNode, n.SwitchNode(leaves+s))
+	}
+	for l := 0; l < leaves; l++ {
+		for i, h := range ls.LeafHosts[l] {
+			n.connect(h, 0, ls.LeafNode[l], i)
+		}
+		for s := 0; s < spines; s++ {
+			n.connect(ls.LeafNode[l], hostsPerLeaf+s, ls.SpineNode[s], l)
+		}
+	}
+	n.ComputeRoutes()
+	return ls
+}
+
+// FatTreeTopo holds a k-ary fat-tree.
+type FatTreeTopo struct {
+	*Network
+	K int
+	// PodHosts[p] lists host IDs in pod p.
+	PodHosts [][]int
+}
+
+// FatTree builds a k-ary fat-tree (k even): k pods of k/2 edge and k/2
+// aggregation switches, (k/2)² cores, k³/4 hosts, uniform link rate.
+func FatTree(cfg Config, k int, rate units.BitRate) *FatTreeTopo {
+	if k%2 != 0 || k < 2 {
+		panic(fmt.Sprintf("topology: fat-tree k must be even and ≥2, got %d", k))
+	}
+	cfg.setDefaults()
+	n := newNetwork(cfg)
+	half := k / 2
+	ft := &FatTreeTopo{Network: n, K: k, PodHosts: make([][]int, k)}
+	for p := 0; p < k; p++ {
+		for i := 0; i < half*half; i++ {
+			h := n.newHost(rate)
+			ft.PodHosts[p] = append(ft.PodHosts[p], h.ID())
+		}
+	}
+	// Switch order: per pod (edges then aggs), then cores.
+	edgeNode := func(p, e int) int { return n.SwitchNode(p*k + e) }
+	aggNode := func(p, a int) int { return n.SwitchNode(p*k + half + a) }
+	coreNode := func(c int) int { return n.SwitchNode(k*k + c) }
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			n.newSwitch(fmt.Sprintf("p%de%d", p, e), uniformRates(k, rate))
+		}
+		for a := 0; a < half; a++ {
+			n.newSwitch(fmt.Sprintf("p%da%d", p, a), uniformRates(k, rate))
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		n.newSwitch(fmt.Sprintf("c%d", c), uniformRates(k, rate))
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			// Edge ports 0..half-1: hosts; half..k-1: aggs of the pod.
+			for i := 0; i < half; i++ {
+				n.connect(ft.PodHosts[p][e*half+i], 0, edgeNode(p, e), i)
+			}
+			for a := 0; a < half; a++ {
+				n.connect(edgeNode(p, e), half+a, aggNode(p, a), e)
+			}
+		}
+		// Agg a ports 0..half-1: edges (wired above); half..k-1: cores
+		// a*half..a*half+half-1, each on its port p.
+		for a := 0; a < half; a++ {
+			for j := 0; j < half; j++ {
+				n.connect(aggNode(p, a), half+j, coreNode(a*half+j), p)
+			}
+		}
+	}
+	n.ComputeRoutes()
+	return ft
+}

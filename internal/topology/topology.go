@@ -1,0 +1,355 @@
+// Package topology assembles simulated networks: it creates hosts and
+// switches, wires their ports, injects link failures, and installs ECMP
+// routes. It provides every topology used in the paper's evaluation:
+// a single-switch fan-in unit (Fig. 11a), the two-switch collateral-damage
+// unit (Fig. 13a), the 2-spine/4-leaf deadlock topology with failed links
+// (Fig. 12a), a leaf–spine fabric (§V-B), and a fat-tree (Fig. 15d).
+package topology
+
+import (
+	"fmt"
+
+	"dsh/internal/core"
+	"dsh/internal/eport"
+	"dsh/internal/host"
+	"dsh/internal/packet"
+	"dsh/internal/routing"
+	"dsh/internal/sim"
+	"dsh/internal/switchdev"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+// Scheme selects the headroom allocation scheme for every switch.
+type Scheme string
+
+// The two schemes the paper compares.
+const (
+	SIH Scheme = "SIH"
+	DSH Scheme = "DSH"
+)
+
+// Config carries the build parameters shared by all topologies. Zero values
+// take the evaluation defaults (§V-A): Tomahawk-like switches with 16 MB of
+// lossless buffer, 8 classes with class 7 reserved for ACK/control, DWRR
+// quantum 1600 B, α = 1/16, MTU 1500 B, 2 µs link delay.
+type Config struct {
+	Sim    *sim.Simulator
+	Scheme Scheme
+
+	Buffer units.ByteSize
+	// BufferPerCapacity, when set and Buffer is zero, sizes each switch's
+	// buffer proportionally to its aggregate port capacity (commodity chips
+	// hold roughly constant buffering time per bit; Tomahawk's 16 MB across
+	// 3.2 Tbps is 40 µs). This keeps reduced-scale experiments faithful to
+	// the paper's buffer pressure.
+	BufferPerCapacity units.Time
+	// BufferFor, when set (and Buffer is zero), decides each switch's
+	// buffer from its name, its SIH worst-case reservation, and its
+	// aggregate capacity. Experiments use it to preserve the paper's
+	// per-role buffer pressure (leaves vs spines) at reduced scale.
+	BufferFor func(name string, sihReservation units.ByteSize, capacity units.BitRate) units.ByteSize
+	// SIHReservedFraction, when set and Buffer/BufferPerCapacity are zero,
+	// sizes each switch's buffer so that the SIH worst-case reservation
+	// (private + Nq·η per port, Eq. 3) is exactly this fraction of it.
+	// This is the scaling that preserves the paper's headroom *pressure*
+	// on smaller switches: the paper's 32-port leaf reserves ~80% of its
+	// 16 MB under SIH. Values must be in (0,1).
+	SIHReservedFraction float64
+	PrivatePerQueue     units.ByteSize
+	Alpha               float64
+	Classes             int
+	AckClass            int
+	Quantum             units.ByteSize
+	MTU                 units.ByteSize
+	Header              units.ByteSize
+	LinkDelay           units.Time
+	DeltaQueue          units.ByteSize
+	DeltaPort           units.ByteSize
+	// DisablePortLevel is the DSH ablation knob (see core.Config).
+	DisablePortLevel bool
+	// PauseTimeout enables 802.1Qbb pause-timer semantics network-wide
+	// (zero = the paper's ON/OFF model, footnote 2). Note: with timers the
+	// MMU does not refresh PAUSE frames on its own; a congested queue
+	// re-pauses on the next arrival after expiry.
+	PauseTimeout units.Time
+
+	// ECN enables RED marking on switches (DCQCN runs).
+	ECN *switchdev.ECNConfig
+	// INT enables telemetry stamping (PowerTCP runs).
+	INT bool
+	// CNPInterval is the receiver NP CNP spacing (DCQCN); 0 disables.
+	CNPInterval units.Time
+
+	// OnFlowDone is invoked by hosts when a local flow completes.
+	OnFlowDone func(f *transport.Flow)
+
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Sim == nil {
+		c.Sim = sim.New()
+	}
+	if c.Scheme == "" {
+		c.Scheme = DSH
+	}
+	if c.Buffer == 0 && c.BufferPerCapacity == 0 && c.SIHReservedFraction == 0 && c.BufferFor == nil {
+		c.Buffer = 16 * units.MB
+	}
+	if c.PrivatePerQueue == 0 {
+		c.PrivatePerQueue = 3 * units.KB
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.0 / 16.0
+	}
+	if c.Classes == 0 {
+		c.Classes = packet.NumClasses
+	}
+	if c.AckClass == 0 {
+		c.AckClass = c.Classes - 1
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 1600
+	}
+	if c.MTU == 0 {
+		c.MTU = 1500
+	}
+	if c.Header == 0 {
+		c.Header = 48
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 2 * units.Microsecond
+	}
+}
+
+type endpoint struct{ node, port int }
+
+// Network is an assembled topology ready to carry flows.
+type Network struct {
+	Sim      *sim.Simulator
+	Cfg      Config
+	Hosts    []*host.Host
+	Switches []*switchdev.Switch
+	Links    []routing.Link
+
+	// UserData is an opaque slot for embedding layers (the public dshsim
+	// facade stores its run state here).
+	UserData any
+
+	peers map[endpoint]endpoint
+}
+
+// NumNodes returns the size of the node-ID space (hosts then switches).
+func (n *Network) NumNodes() int { return len(n.Hosts) + len(n.Switches) }
+
+// SwitchNode returns the node ID of switch index i.
+func (n *Network) SwitchNode(i int) int { return len(n.Hosts) + i }
+
+// IsSwitchNode reports whether a node ID belongs to a switch.
+func (n *Network) IsSwitchNode(id int) bool { return id >= len(n.Hosts) && id < n.NumNodes() }
+
+// SwitchByNode maps a switch node ID back to the device.
+func (n *Network) SwitchByNode(id int) *switchdev.Switch { return n.Switches[id-len(n.Hosts)] }
+
+// Peer returns the (node, port) wired to the given endpoint.
+func (n *Network) Peer(node, port int) (peerNode, peerPort int, ok bool) {
+	e, ok := n.peers[endpoint{node, port}]
+	return e.node, e.port, ok
+}
+
+// portOf resolves an endpoint's egress port object.
+func (n *Network) portOf(node, port int) *eport.Port {
+	if n.IsSwitchNode(node) {
+		return n.SwitchByNode(node).Port(port)
+	}
+	if port != 0 {
+		panic(fmt.Sprintf("topology: host %d has only port 0", node))
+	}
+	return n.Hosts[node].Port()
+}
+
+// inputOf resolves an endpoint's receiver.
+func (n *Network) inputOf(node, port int) eport.Receiver {
+	if n.IsSwitchNode(node) {
+		return n.SwitchByNode(node).Input(port)
+	}
+	return n.Hosts[node].Input()
+}
+
+// connect wires a full-duplex link between two endpoints and records both
+// directions for routing.
+func (n *Network) connect(aNode, aPort, bNode, bPort int) {
+	n.portOf(aNode, aPort).Connect(n.inputOf(bNode, bPort))
+	n.portOf(bNode, bPort).Connect(n.inputOf(aNode, aPort))
+	n.peers[endpoint{aNode, aPort}] = endpoint{bNode, bPort}
+	n.peers[endpoint{bNode, bPort}] = endpoint{aNode, aPort}
+	n.Links = append(n.Links,
+		routing.Link{From: aNode, FromPort: aPort, To: bNode, Up: true},
+		routing.Link{From: bNode, FromPort: bPort, To: aNode, Up: true},
+	)
+}
+
+// FailLink marks the link at (node, port) down in both directions. Call
+// before ComputeRoutes so routing avoids it.
+func (n *Network) FailLink(node, port int) {
+	peer, peerPort, ok := n.Peer(node, port)
+	if !ok {
+		panic(fmt.Sprintf("topology: no link at node %d port %d", node, port))
+	}
+	n.portOf(node, port).SetUp(false)
+	n.portOf(peer, peerPort).SetUp(false)
+	for i := range n.Links {
+		l := &n.Links[i]
+		if (l.From == node && l.FromPort == port) || (l.From == peer && l.FromPort == peerPort) {
+			l.Up = false
+		}
+	}
+}
+
+// ComputeRoutes builds ECMP tables over the up links and installs them on
+// every switch. Call after all connect/FailLink calls.
+func (n *Network) ComputeRoutes() {
+	hosts := make([]int, len(n.Hosts))
+	for i := range hosts {
+		hosts[i] = i
+	}
+	tables := routing.ComputeECMP(n.NumNodes(), n.Links, hosts)
+	for i, sw := range n.Switches {
+		sw.SetRoute(tables[n.SwitchNode(i)].Route)
+	}
+}
+
+// AddFlow schedules a flow: at f.Start the source host begins transmitting.
+// The flow must have its CC assigned.
+func (n *Network) AddFlow(f *transport.Flow) {
+	src := n.Hosts[f.Src]
+	n.Sim.At(f.Start, func() { src.AddFlow(f) })
+}
+
+// Drops sums lossless admission drops over all switches.
+func (n *Network) Drops() int64 {
+	var total int64
+	for _, sw := range n.Switches {
+		total += sw.MMU().Drops()
+	}
+	return total
+}
+
+// newNetwork prepares an empty network.
+func newNetwork(cfg Config) *Network {
+	return &Network{Sim: cfg.Sim, Cfg: cfg, peers: make(map[endpoint]endpoint)}
+}
+
+// newHost appends a host with the given uplink rate; its ID is its index.
+func (n *Network) newHost(rate units.BitRate) *host.Host {
+	id := len(n.Hosts)
+	h := host.New(host.Config{
+		Sim:          n.Cfg.Sim,
+		ID:           id,
+		Name:         fmt.Sprintf("h%d", id),
+		Rate:         rate,
+		Prop:         n.Cfg.LinkDelay,
+		Classes:      n.Cfg.Classes,
+		AckClass:     packet.Class(n.Cfg.AckClass),
+		MTU:          n.Cfg.MTU,
+		Header:       n.Cfg.Header,
+		CNPInterval:  n.Cfg.CNPInterval,
+		PauseTimeout: n.Cfg.PauseTimeout,
+		OnFlowDone:   n.Cfg.OnFlowDone,
+	})
+	n.Hosts = append(n.Hosts, h)
+	return h
+}
+
+// newSwitch appends a switch whose port i runs at rates[i]; headroom η is
+// sized per port from its rate and the uniform link delay (Eq. 1).
+func (n *Network) newSwitch(name string, rates []units.BitRate) *switchdev.Switch {
+	cfg := n.Cfg
+	etas := make([]units.ByteSize, len(rates))
+	props := make([]units.Time, len(rates))
+	var maxEta units.ByteSize
+	for i, r := range rates {
+		etas[i] = core.RequiredHeadroom(r, cfg.LinkDelay, cfg.MTU)
+		props[i] = cfg.LinkDelay
+		if etas[i] > maxEta {
+			maxEta = etas[i]
+		}
+	}
+	var capacity units.BitRate
+	for _, r := range rates {
+		capacity += r
+	}
+	var reserved units.ByteSize
+	nq := units.ByteSize(cfg.Classes - 1) // ACK class exempt
+	for _, e := range etas {
+		reserved += nq * (cfg.PrivatePerQueue + e)
+	}
+	buffer := cfg.Buffer
+	if buffer == 0 && cfg.BufferFor != nil {
+		buffer = cfg.BufferFor(name, reserved, capacity)
+	}
+	if buffer == 0 && cfg.BufferPerCapacity > 0 {
+		buffer = units.BytesInTime(cfg.BufferPerCapacity, capacity)
+	}
+	if buffer == 0 && cfg.SIHReservedFraction > 0 {
+		if cfg.SIHReservedFraction >= 1 {
+			panic(fmt.Sprintf("topology: SIHReservedFraction %v must be below 1", cfg.SIHReservedFraction))
+		}
+		buffer = units.ByteSize(float64(reserved) / cfg.SIHReservedFraction)
+	}
+	if buffer <= 0 {
+		panic(fmt.Sprintf("topology: switch %s has no buffer sizing rule", name))
+	}
+	mmuCfg := core.Config{
+		Ports:                  len(rates),
+		Classes:                cfg.Classes,
+		AckClass:               cfg.AckClass,
+		TotalBuffer:            buffer,
+		PrivatePerQueue:        cfg.PrivatePerQueue,
+		Eta:                    maxEta,
+		EtaPerPort:             etas,
+		Alpha:                  cfg.Alpha,
+		DeltaQueue:             cfg.DeltaQueue,
+		DeltaPort:              cfg.DeltaPort,
+		DisablePortLevel:       cfg.DisablePortLevel,
+		RefreshPause:           cfg.PauseTimeout > 0,
+		RequireHeadroomDrained: true,
+	}
+	var mmu core.MMU
+	var err error
+	switch cfg.Scheme {
+	case SIH:
+		mmu, err = core.NewSIH(mmuCfg)
+	case DSH:
+		mmu, err = core.NewDSH(mmuCfg)
+	default:
+		panic(fmt.Sprintf("topology: unknown scheme %q", cfg.Scheme))
+	}
+	if err != nil {
+		panic(fmt.Sprintf("topology: switch %s: %v", name, err))
+	}
+	sw := switchdev.New(switchdev.Config{
+		Sim:          cfg.Sim,
+		Name:         name,
+		Ports:        len(rates),
+		Classes:      cfg.Classes,
+		AckClass:     cfg.AckClass,
+		Quantum:      cfg.Quantum,
+		MMU:          mmu,
+		ECN:          cfg.ECN,
+		INT:          cfg.INT,
+		PauseTimeout: cfg.PauseTimeout,
+		Seed:         cfg.Seed + int64(len(n.Switches))*7919,
+	}, rates, props)
+	n.Switches = append(n.Switches, sw)
+	return sw
+}
+
+func uniformRates(nports int, rate units.BitRate) []units.BitRate {
+	rates := make([]units.BitRate, nports)
+	for i := range rates {
+		rates[i] = rate
+	}
+	return rates
+}

@@ -1,0 +1,238 @@
+// Package dcqcn implements the DCQCN congestion control algorithm (Zhu et
+// al., SIGCOMM 2015) used as one of the paper's two transports.
+//
+// The congestion point (switch RED/ECN marking) and notification point
+// (receiver CNP generation, ≥50 µs apart per flow) live in the switch and
+// host models; this package is the reaction point: a per-flow rate limiter
+// with multiplicative decrease on CNP and the three-stage recovery (fast
+// recovery, additive increase, hyper increase) driven by a timer and a byte
+// counter.
+package dcqcn
+
+import (
+	"dsh/internal/packet"
+	"dsh/internal/sim"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+// Params are the DCQCN constants. Defaults follow the paper/open-source
+// simulation settings scaled to 100 GbE.
+type Params struct {
+	// LineRate caps the sending rate (the NIC rate).
+	LineRate units.BitRate
+	// MinRate floors the sending rate.
+	MinRate units.BitRate
+	// RateAI and RateHAI are the additive and hyper increase steps.
+	RateAI  units.BitRate
+	RateHAI units.BitRate
+	// G is the α EWMA gain (1/256).
+	G float64
+	// AlphaTimer is the α recovery period (55 µs).
+	AlphaTimer units.Time
+	// IncreaseTimer is the rate-increase timer period (55 µs).
+	IncreaseTimer units.Time
+	// ByteCounter is the rate-increase byte period (10 MB).
+	ByteCounter units.ByteSize
+	// F is the fast-recovery stage count (5).
+	F int
+	// Header is added to the payload when pacing.
+	Header units.ByteSize
+	// WindowCap bounds inflight bytes (the reference RDMA simulations cap
+	// at one bandwidth-delay product so rate-induced queueing cannot feed
+	// back into ever-growing inflight). Zero disables the cap.
+	WindowCap units.ByteSize
+}
+
+// DefaultParams returns the standard constants for a given NIC rate.
+func DefaultParams(lineRate units.BitRate) Params {
+	return Params{
+		LineRate:      lineRate,
+		MinRate:       100 * units.Mbps,
+		RateAI:        100 * units.Mbps,
+		RateHAI:       1 * units.Gbps,
+		G:             1.0 / 256.0,
+		AlphaTimer:    55 * units.Microsecond,
+		IncreaseTimer: 55 * units.Microsecond,
+		ByteCounter:   10 * units.MB,
+		F:             5,
+		Header:        48,
+	}
+}
+
+// Controller is the per-flow reaction point.
+type Controller struct {
+	sim *sim.Simulator
+	p   Params
+
+	rc    units.BitRate // current rate
+	rt    units.BitRate // target rate
+	alpha float64
+
+	nextSend units.Time
+
+	timerEvents int
+	byteEvents  int
+	bytesSent   units.ByteSize
+
+	alphaEv    *sim.Event
+	increaseEv *sim.Event
+	active     bool // in recovery (timers running)
+
+	cnps int64
+}
+
+var _ transport.CongestionControl = (*Controller)(nil)
+
+// New builds a controller at line rate.
+func New(s *sim.Simulator, p Params) *Controller {
+	if p.LineRate <= 0 {
+		panic("dcqcn: LineRate required")
+	}
+	return &Controller{sim: s, p: p, rc: p.LineRate, rt: p.LineRate, alpha: 1}
+}
+
+// NewFactory adapts New to the transport.Factory shape.
+func NewFactory(s *sim.Simulator, p Params) transport.Factory {
+	return func(*transport.Flow) transport.CongestionControl { return New(s, p) }
+}
+
+// Rate returns the current sending rate.
+func (c *Controller) Rate() units.BitRate { return c.rc }
+
+// TargetRate returns the recovery target rate.
+func (c *Controller) TargetRate() units.BitRate { return c.rt }
+
+// Alpha returns the congestion estimate α.
+func (c *Controller) Alpha() float64 { return c.alpha }
+
+// CNPs returns how many CNPs the controller has reacted to.
+func (c *Controller) CNPs() int64 { return c.cnps }
+
+// AllowSend implements transport.CongestionControl: rate pacing plus the
+// optional inflight cap.
+func (c *Controller) AllowSend(now units.Time, f *transport.Flow, payload units.ByteSize) (bool, units.Time) {
+	if c.p.WindowCap > 0 && f.Inflight() > 0 &&
+		f.Inflight()+payload+c.p.Header > c.p.WindowCap {
+		return false, 0 // window-limited: wait for an ACK
+	}
+	if now >= c.nextSend {
+		return true, 0
+	}
+	return false, c.nextSend
+}
+
+// OnSend implements transport.CongestionControl.
+func (c *Controller) OnSend(now units.Time, _ *transport.Flow, payload units.ByteSize) {
+	size := payload + c.p.Header
+	start := max(now, c.nextSend)
+	c.nextSend = start + units.TransmissionTime(size, c.rc)
+	if c.active {
+		c.bytesSent += size
+		if c.bytesSent >= c.p.ByteCounter {
+			c.bytesSent -= c.p.ByteCounter
+			c.byteEvents++
+			c.rateIncrease()
+		}
+	}
+}
+
+// OnAck implements transport.CongestionControl; DCQCN reacts to CNPs only.
+func (c *Controller) OnAck(units.Time, *transport.Flow, *packet.Packet) {}
+
+// OnCNP implements transport.CongestionControl: multiplicative decrease and
+// recovery restart.
+func (c *Controller) OnCNP(units.Time, *transport.Flow) {
+	c.cnps++
+	c.rt = c.rc
+	c.rc = units.BitRate(float64(c.rc) * (1 - c.alpha/2))
+	if c.rc < c.p.MinRate {
+		c.rc = c.p.MinRate
+	}
+	c.alpha = (1-c.p.G)*c.alpha + c.p.G
+	c.timerEvents = 0
+	c.byteEvents = 0
+	c.bytesSent = 0
+	c.startTimers()
+}
+
+func (c *Controller) startTimers() {
+	c.active = true
+	if c.alphaEv == nil {
+		c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
+	} else {
+		// Restart the α recovery window from this CNP.
+		c.alphaEv.Cancel()
+		c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
+	}
+	if c.increaseEv != nil {
+		c.increaseEv.Cancel()
+	}
+	c.increaseEv = c.sim.Schedule(c.p.IncreaseTimer, c.timerTick)
+}
+
+func (c *Controller) stopTimers() {
+	c.active = false
+	if c.alphaEv != nil {
+		c.alphaEv.Cancel()
+		c.alphaEv = nil
+	}
+	if c.increaseEv != nil {
+		c.increaseEv.Cancel()
+		c.increaseEv = nil
+	}
+}
+
+func (c *Controller) alphaTick() {
+	c.alpha *= 1 - c.p.G
+	if c.active || c.alpha > 1e-3 {
+		c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
+	} else {
+		c.alphaEv = nil
+	}
+}
+
+func (c *Controller) timerTick() {
+	if !c.active {
+		c.increaseEv = nil
+		return
+	}
+	c.timerEvents++
+	c.rateIncrease()
+	if c.active {
+		c.increaseEv = c.sim.Schedule(c.p.IncreaseTimer, c.timerTick)
+	} else {
+		c.increaseEv = nil
+	}
+}
+
+// rateIncrease applies one recovery event: fast recovery until F events,
+// additive increase when either counter passes F, hyper increase when both
+// do (§5 of the DCQCN paper).
+func (c *Controller) rateIncrease() {
+	switch {
+	case c.timerEvents > c.p.F && c.byteEvents > c.p.F:
+		c.rt += c.p.RateHAI
+	case c.timerEvents > c.p.F || c.byteEvents > c.p.F:
+		c.rt += c.p.RateAI
+	}
+	if c.rt > c.p.LineRate {
+		c.rt = c.p.LineRate
+	}
+	c.rc = (c.rt + c.rc) / 2
+	if c.rt == c.p.LineRate && c.p.LineRate-c.rc < c.p.RateAI {
+		// The halving series converges to but never reaches the target;
+		// snap the last sub-AI-step gap.
+		c.rc = c.p.LineRate
+	}
+	if c.rc >= c.p.LineRate {
+		c.rc = c.p.LineRate
+		c.rt = c.p.LineRate
+		// Fully recovered: stop timers until the next CNP. α keeps decaying
+		// on its own timer while it remains significant.
+		c.stopTimers()
+		if c.alpha > 1e-3 {
+			c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
+		}
+	}
+}

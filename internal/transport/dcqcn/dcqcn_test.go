@@ -1,0 +1,168 @@
+package dcqcn
+
+import (
+	"testing"
+
+	"dsh/internal/sim"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+func newCtl(s *sim.Simulator) *Controller {
+	return New(s, DefaultParams(100*units.Gbps))
+}
+
+func TestStartsAtLineRate(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	if c.Rate() != 100*units.Gbps {
+		t.Errorf("initial rate %v, want line rate", c.Rate())
+	}
+	ok, _ := c.AllowSend(0, nil, 1000)
+	if !ok {
+		t.Error("fresh controller must allow sending")
+	}
+}
+
+func TestCNPHalvesWithAlphaOne(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	f := &transport.Flow{}
+	c.OnCNP(0, f)
+	// α=1 initially: Rc' = Rc(1-1/2) = 50G. α' = (1-g)·1 + g = 1.
+	if got := c.Rate(); got != 50*units.Gbps {
+		t.Errorf("rate after first CNP = %v, want 50Gbps", got)
+	}
+	if c.TargetRate() != 100*units.Gbps {
+		t.Errorf("target = %v, want 100Gbps (pre-decrease rate)", c.TargetRate())
+	}
+	if c.CNPs() != 1 {
+		t.Errorf("CNPs = %d", c.CNPs())
+	}
+}
+
+func TestRepeatedCNPsFloorAtMinRate(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	f := &transport.Flow{}
+	for i := 0; i < 100; i++ {
+		c.OnCNP(0, f)
+	}
+	if c.Rate() != 100*units.Mbps {
+		t.Errorf("rate = %v, want MinRate 100Mbps", c.Rate())
+	}
+}
+
+func TestAlphaDecaysWithoutCNPs(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	c.OnCNP(0, &transport.Flow{})
+	a0 := c.Alpha()
+	s.RunUntil(2 * units.Millisecond) // ~36 alpha periods
+	if c.Alpha() >= a0 {
+		t.Errorf("alpha did not decay: %v -> %v", a0, c.Alpha())
+	}
+}
+
+func TestFastRecoveryApproachesTarget(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	c.OnCNP(0, &transport.Flow{})
+	rt := c.TargetRate()
+	// After F timer periods of fast recovery, Rc ≈ Rt (halving gap 5 times).
+	s.RunUntil(6 * 55 * units.Microsecond)
+	gap := rt - c.Rate()
+	if gap < 0 || gap > rt/16 {
+		t.Errorf("after fast recovery gap = %v, want < Rt/16", gap)
+	}
+}
+
+func TestFullRecoveryReachesLineRateAndStops(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	c.OnCNP(0, &transport.Flow{})
+	// Additive increase at 100Mbps per 55us from ~100G/2... needs many
+	// steps plus hyper increase; give it room.
+	s.RunUntil(100 * units.Millisecond)
+	if c.Rate() != 100*units.Gbps {
+		t.Errorf("rate = %v, want full line rate", c.Rate())
+	}
+	// Timers must be stopped: no runaway events.
+	pend := s.Pending()
+	if pend > 2 {
+		t.Errorf("%d events still pending after recovery (timer leak)", pend)
+	}
+}
+
+func TestHyperIncreaseFasterThanAdditive(t *testing.T) {
+	s := sim.New()
+	p := DefaultParams(100 * units.Gbps)
+	c := New(s, p)
+	f := &transport.Flow{}
+	c.OnCNP(0, f)
+	r0 := c.Rate()
+	// Drive byte-counter events by sending a lot: each OnSend accumulates
+	// bytes; 10MB per event.
+	for i := 0; i < 60; i++ {
+		// 60 * 2MB = 120MB => 12 byte events: passes F=5 into hyper range
+		// once timer events also accumulate.
+		c.OnSend(s.Now(), f, 2*units.MB)
+	}
+	s.RunUntil(20 * 55 * units.Microsecond)
+	if c.Rate() <= r0 {
+		t.Error("rate did not increase")
+	}
+}
+
+func TestPacingSpacing(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	f := &transport.Flow{}
+	// Drop to a known rate: α=1 CNP → 50G.
+	c.OnCNP(0, f)
+	c.OnSend(0, f, 1452) // wire 1500
+	ok, retry := c.AllowSend(0, f, 1452)
+	if ok {
+		t.Fatal("send allowed during pacing gap")
+	}
+	want := units.TransmissionTime(1500, 50*units.Gbps)
+	if retry != want {
+		t.Errorf("retry at %v, want %v", retry, want)
+	}
+	if ok, _ := c.AllowSend(want, f, 1452); !ok {
+		t.Error("send not allowed after pacing gap")
+	}
+}
+
+func TestByteCounterAccumulatesOnlyWhenActive(t *testing.T) {
+	s := sim.New()
+	c := newCtl(s)
+	f := &transport.Flow{}
+	// Without a CNP, sending lots of bytes must not change the rate.
+	for i := 0; i < 20; i++ {
+		c.OnSend(s.Now(), f, 2*units.MB)
+	}
+	if c.Rate() != 100*units.Gbps {
+		t.Errorf("rate changed without congestion: %v", c.Rate())
+	}
+}
+
+func TestNewPanicsWithoutLineRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(sim.New(), Params{})
+}
+
+func TestFactoryMakesIndependentControllers(t *testing.T) {
+	s := sim.New()
+	factory := NewFactory(s, DefaultParams(100*units.Gbps))
+	c1 := factory(&transport.Flow{ID: 1}).(*Controller)
+	c2 := factory(&transport.Flow{ID: 2}).(*Controller)
+	c1.OnCNP(0, &transport.Flow{})
+	if c2.Rate() != 100*units.Gbps {
+		t.Error("controllers share state")
+	}
+}

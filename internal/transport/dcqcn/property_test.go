@@ -1,0 +1,98 @@
+package dcqcn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsh/internal/sim"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+// TestRandomEventsKeepRateInBounds drives a controller with random CNPs,
+// sends, and elapsed time; the rate must always stay within
+// [MinRate, LineRate], α within (0, 1], and pacing must never move
+// backwards.
+func TestRandomEventsKeepRateInBounds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		p := DefaultParams(100 * units.Gbps)
+		c := New(s, p)
+		f := &transport.Flow{Size: units.GB}
+		var lastNext units.Time
+		for i := 0; i < 500; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.OnCNP(s.Now(), f)
+			case 1:
+				if ok, _ := c.AllowSend(s.Now(), f, 1452); ok {
+					c.OnSend(s.Now(), f, 1452)
+				}
+			case 2:
+				s.RunUntil(s.Now() + units.Time(rng.Intn(int(100*units.Microsecond))))
+			case 3:
+				c.OnAck(s.Now(), f, nil) // no-op, must not panic
+			}
+			if c.Rate() < p.MinRate || c.Rate() > p.LineRate {
+				t.Fatalf("seed %d: rate %v out of [%v,%v]", seed, c.Rate(), p.MinRate, p.LineRate)
+			}
+			if c.TargetRate() < p.MinRate || c.TargetRate() > p.LineRate {
+				t.Fatalf("seed %d: target %v out of bounds", seed, c.TargetRate())
+			}
+			if c.Alpha() <= 0 || c.Alpha() > 1 {
+				t.Fatalf("seed %d: alpha %v out of (0,1]", seed, c.Alpha())
+			}
+			if c.nextSend < lastNext {
+				t.Fatalf("seed %d: pacing went backwards", seed)
+			}
+			lastNext = c.nextSend
+		}
+		// Silence for a long time must fully recover the rate.
+		s.RunUntil(s.Now() + 500*units.Millisecond)
+		if c.Rate() != p.LineRate {
+			t.Errorf("seed %d: rate %v after long recovery, want line rate", seed, c.Rate())
+		}
+	}
+}
+
+// TestMonotoneDecreaseUnderCNPTrain verifies each CNP strictly reduces the
+// rate until the floor.
+func TestMonotoneDecreaseUnderCNPTrain(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultParams(100*units.Gbps))
+	f := &transport.Flow{}
+	prev := c.Rate()
+	for i := 0; i < 50; i++ {
+		c.OnCNP(0, f)
+		if c.Rate() > prev {
+			t.Fatalf("CNP %d increased rate %v -> %v", i, prev, c.Rate())
+		}
+		prev = c.Rate()
+	}
+}
+
+// TestWindowCapGatesInflight checks the BDP cap independent of pacing.
+func TestWindowCapGatesInflight(t *testing.T) {
+	s := sim.New()
+	p := DefaultParams(100 * units.Gbps)
+	p.WindowCap = 10_000
+	c := New(s, p)
+	f := &transport.Flow{Size: units.MB, Sent: 9_000, Acked: 0}
+	ok, retry := c.AllowSend(0, f, 1452)
+	if ok {
+		t.Error("send allowed past window cap")
+	}
+	if retry != 0 {
+		t.Errorf("retry = %v, want 0 (ack-gated)", retry)
+	}
+	f.Acked = 5_000
+	if ok, _ := c.AllowSend(0, f, 1452); !ok {
+		t.Error("send blocked despite window room")
+	}
+	// Zero-inflight flows may always send one packet (anti-livelock).
+	f2 := &transport.Flow{Size: units.MB}
+	if ok, _ := c.AllowSend(0, f2, 1452); !ok {
+		t.Error("zero-inflight flow blocked")
+	}
+}

@@ -1,0 +1,206 @@
+package powertcp
+
+import (
+	"testing"
+
+	"dsh/internal/packet"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+const (
+	rate = 100 * units.Gbps
+	rtt  = 16 * units.Microsecond
+)
+
+func newCtl() *Controller { return New(DefaultParams(rate, rtt)) }
+
+// ackWithINT fabricates an ACK carrying one telemetry hop.
+func ackWithINT(cum units.ByteSize, hop packet.INTHop) *packet.Packet {
+	return &packet.Packet{Type: packet.Ack, Seq: cum, INT: []packet.INTHop{hop}}
+}
+
+func TestInitialWindowIsBDP(t *testing.T) {
+	c := newCtl()
+	bdp := units.BandwidthDelayProduct(rate, rtt) // 200000
+	if c.Cwnd() != bdp {
+		t.Errorf("initial cwnd = %d, want BDP %d", c.Cwnd(), bdp)
+	}
+}
+
+func TestFirstAckOnlyPrimesTelemetry(t *testing.T) {
+	c := newCtl()
+	w0 := c.Cwnd()
+	c.OnAck(0, &transport.Flow{}, ackWithINT(1452, packet.INTHop{QLen: 0, TxBytes: 1500, TS: 1000, Rate: rate}))
+	if c.Cwnd() != w0 {
+		t.Errorf("cwnd changed on priming ACK: %d -> %d", w0, c.Cwnd())
+	}
+	if c.Updates() != 0 {
+		t.Errorf("updates = %d, want 0", c.Updates())
+	}
+}
+
+// synthetic drives the controller with a sequence of hops representing a
+// steady queue state, and returns the final cwnd.
+func drive(t *testing.T, c *Controller, qlen units.ByteSize, n int) {
+	t.Helper()
+	f := &transport.Flow{}
+	now := units.Time(0)
+	tx := units.ByteSize(0)
+	for i := 0; i < n; i++ {
+		now += 2 * units.Microsecond
+		tx += 25000 // exactly line rate: 25000B per 2us at 100G
+		c.OnAck(now, f, ackWithINT(0, packet.INTHop{QLen: qlen, TxBytes: tx, TS: now, Rate: rate}))
+	}
+}
+
+func TestQueueBuildupShrinksWindow(t *testing.T) {
+	c := newCtl()
+	w0 := c.Cwnd()
+	// Full utilization plus a standing queue of 2 BDP: power > 1.
+	drive(t, c, 400_000, 50)
+	if c.Cwnd() >= w0 {
+		t.Errorf("cwnd did not shrink under standing queue: %d -> %d", w0, c.Cwnd())
+	}
+	if c.Power() <= 1 {
+		t.Errorf("power = %v, want > 1 with standing queue", c.Power())
+	}
+}
+
+func TestEmptyQueueFullRateIsEquilibrium(t *testing.T) {
+	c := newCtl()
+	// Zero queue at exactly line rate: Γ = (C·BDP)/(C·BDP) = 1 → cwnd drifts
+	// toward cwnd+β but capped; stays near BDP+β regime, never collapses.
+	drive(t, c, 0, 100)
+	bdp := float64(units.BandwidthDelayProduct(rate, rtt))
+	if float64(c.Cwnd()) < bdp*0.9 {
+		t.Errorf("cwnd collapsed at equilibrium: %d", c.Cwnd())
+	}
+}
+
+func TestIdlePathGrowsWindowTowardCap(t *testing.T) {
+	p := DefaultParams(rate, rtt)
+	p.MinCwnd = 3000
+	c := New(p)
+	// Shrink first with a huge queue...
+	drive(t, c, 2_000_000, 60)
+	small := c.Cwnd()
+	if small >= units.BandwidthDelayProduct(rate, rtt) {
+		t.Fatalf("setup: cwnd %d did not shrink", small)
+	}
+	// ...then an idle path (low throughput, empty queue => Γ floored).
+	f := &transport.Flow{}
+	now := 10 * units.Millisecond
+	tx := units.ByteSize(100_000_000)
+	for i := 0; i < 200; i++ {
+		now += 2 * units.Microsecond
+		tx += 100 // trickle
+		c.OnAck(now, f, ackWithINT(0, packet.INTHop{QLen: 0, TxBytes: tx, TS: now, Rate: rate}))
+	}
+	if c.Cwnd() <= small {
+		t.Errorf("cwnd did not recover on idle path: %d -> %d", small, c.Cwnd())
+	}
+}
+
+func TestWindowGateBlocksWhenInflightFull(t *testing.T) {
+	c := newCtl()
+	f := &transport.Flow{Sent: 300_000, Acked: 0} // inflight 300000 > BDP
+	ok, retry := c.AllowSend(0, f, 1452)
+	if ok {
+		t.Error("send allowed with full window")
+	}
+	if retry != 0 {
+		t.Errorf("retry = %v, want 0 (wait for ACK)", retry)
+	}
+}
+
+func TestFirstPacketAlwaysAllowed(t *testing.T) {
+	// Even if cwnd < one packet, a flow with nothing inflight may send one
+	// (avoids livelock).
+	p := DefaultParams(rate, rtt)
+	p.MinCwnd = 100
+	c := New(p)
+	c.cwnd = 100
+	f := &transport.Flow{}
+	ok, _ := c.AllowSend(0, f, 1452)
+	if !ok {
+		t.Error("zero-inflight flow blocked forever")
+	}
+}
+
+func TestPacingAtCwndOverTau(t *testing.T) {
+	c := newCtl()
+	f := &transport.Flow{}
+	c.OnSend(0, f, 1452)
+	f.Sent = 1452
+	ok, retry := c.AllowSend(0, f, 1452)
+	if ok {
+		t.Fatal("send allowed inside pacing gap")
+	}
+	// cwnd = BDP => pacing rate = line rate => gap = 1500B at 100G = 120ns.
+	want := units.TransmissionTime(1500, rate)
+	if retry != want {
+		t.Errorf("retry %v, want %v", retry, want)
+	}
+}
+
+func TestHistoryPopReturnsSendTimeWindow(t *testing.T) {
+	c := newCtl()
+	f := &transport.Flow{}
+	c.OnSend(0, f, 1000)
+	f.Sent = 1000
+	c.cwnd = 50_000 // window changed after send
+	c.OnSend(0, f, 1000)
+	f.Sent = 2000
+	got := c.popHistory(1000)
+	if got != float64(units.BandwidthDelayProduct(rate, rtt)) {
+		t.Errorf("popHistory(1000) = %v, want original BDP window", got)
+	}
+	got = c.popHistory(2000)
+	if got != 50_000 {
+		t.Errorf("popHistory(2000) = %v, want 50000", got)
+	}
+	if len(c.history) != 0 {
+		t.Errorf("history not drained: %d", len(c.history))
+	}
+}
+
+func TestAckWithoutINTIsIgnored(t *testing.T) {
+	c := newCtl()
+	w0 := c.Cwnd()
+	c.OnAck(0, &transport.Flow{}, &packet.Packet{Type: packet.Ack, Seq: 1000})
+	if c.Cwnd() != w0 || c.Updates() != 0 {
+		t.Error("cwnd changed on INT-less ACK")
+	}
+}
+
+func TestCwndClamps(t *testing.T) {
+	p := DefaultParams(rate, rtt)
+	c := New(p)
+	// Monster queue: power huge; the window must settle at the floor
+	// regime (MinCwnd plus at most the additive term β) and never below
+	// MinCwnd.
+	drive(t, c, 100_000_000, 60)
+	if c.Cwnd() < p.MinCwnd || c.Cwnd() > p.MinCwnd+p.Beta {
+		t.Errorf("cwnd = %d, want within [MinCwnd, MinCwnd+β] = [%d, %d]",
+			c.Cwnd(), p.MinCwnd, p.MinCwnd+p.Beta)
+	}
+}
+
+func TestNewPanicsOnMissingParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Params{LineRate: rate})
+}
+
+func TestOnCNPIsNoop(t *testing.T) {
+	c := newCtl()
+	w0 := c.Cwnd()
+	c.OnCNP(0, &transport.Flow{})
+	if c.Cwnd() != w0 {
+		t.Error("OnCNP changed window")
+	}
+}

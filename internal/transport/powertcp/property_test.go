@@ -1,0 +1,109 @@
+package powertcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsh/internal/packet"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+// TestRandomTelemetryKeepsWindowInBounds feeds random (but time-monotone)
+// telemetry and verifies the window always stays within [MinCwnd, MaxCwnd]
+// and the power estimate stays positive and finite.
+func TestRandomTelemetryKeepsWindowInBounds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := DefaultParams(rate, rtt)
+		c := New(p)
+		f := &transport.Flow{Size: units.GB}
+		now := units.Time(0)
+		tx := units.ByteSize(0)
+		var cum units.ByteSize
+		for i := 0; i < 400; i++ {
+			now += units.Time(1 + rng.Intn(int(5*units.Microsecond)))
+			tx += units.ByteSize(rng.Intn(30_000))
+			cum += 1452
+			hop := packet.INTHop{
+				QLen:    units.ByteSize(rng.Intn(2_000_000)),
+				TxBytes: tx,
+				TS:      now,
+				Rate:    rate,
+			}
+			c.OnAck(now, f, &packet.Packet{Type: packet.Ack, Seq: cum, INT: []packet.INTHop{hop}})
+			if c.Cwnd() < p.MinCwnd || c.Cwnd() > p.MaxCwnd {
+				t.Fatalf("seed %d: cwnd %d outside [%d,%d]", seed, c.Cwnd(), p.MinCwnd, p.MaxCwnd)
+			}
+			if !(c.Power() > 0) {
+				t.Fatalf("seed %d: power %v not positive", seed, c.Power())
+			}
+		}
+	}
+}
+
+// TestOutOfOrderTimestampsIgnored feeds a telemetry hop whose timestamp
+// does not advance; the update must be skipped, not divide by zero.
+func TestOutOfOrderTimestampsIgnored(t *testing.T) {
+	c := New(DefaultParams(rate, rtt))
+	f := &transport.Flow{}
+	h := packet.INTHop{QLen: 1000, TxBytes: 1000, TS: 100 * units.Nanosecond, Rate: rate}
+	c.OnAck(0, f, &packet.Packet{Type: packet.Ack, INT: []packet.INTHop{h}})
+	w0 := c.Cwnd()
+	// Same timestamp again: dt = 0 must be skipped.
+	c.OnAck(0, f, &packet.Packet{Type: packet.Ack, INT: []packet.INTHop{h}})
+	if c.Cwnd() != w0 {
+		t.Error("zero-dt telemetry changed the window")
+	}
+	// Regressing timestamp likewise.
+	h2 := h
+	h2.TS = 50 * units.Nanosecond
+	c.OnAck(0, f, &packet.Packet{Type: packet.Ack, INT: []packet.INTHop{h2}})
+	if c.Cwnd() != w0 {
+		t.Error("regressing telemetry changed the window")
+	}
+}
+
+// TestMultiHopTakesBottleneck verifies the max-power hop dominates.
+func TestMultiHopTakesBottleneck(t *testing.T) {
+	cIdle := New(DefaultParams(rate, rtt))
+	cBusy := New(DefaultParams(rate, rtt))
+	f := &transport.Flow{}
+	mk := func(q1, q2 units.ByteSize, tx units.ByteSize, ts units.Time) []packet.INTHop {
+		return []packet.INTHop{
+			{QLen: q1, TxBytes: tx, TS: ts, Rate: rate},
+			{QLen: q2, TxBytes: tx, TS: ts, Rate: rate},
+		}
+	}
+	// Prime both.
+	cIdle.OnAck(0, f, &packet.Packet{Type: packet.Ack, INT: mk(0, 0, 0, units.Microsecond)})
+	cBusy.OnAck(0, f, &packet.Packet{Type: packet.Ack, INT: mk(0, 0, 0, units.Microsecond)})
+	// Second sample: idle path vs one congested hop among two.
+	for i := 1; i <= 30; i++ {
+		ts := units.Time(1+i*2) * units.Microsecond
+		tx := units.ByteSize(i) * 25_000
+		cIdle.OnAck(ts, f, &packet.Packet{Type: packet.Ack, INT: mk(0, 0, tx, ts)})
+		cBusy.OnAck(ts, f, &packet.Packet{Type: packet.Ack, INT: mk(0, 800_000, tx, ts)})
+	}
+	if cBusy.Cwnd() >= cIdle.Cwnd() {
+		t.Errorf("bottleneck hop ignored: busy cwnd %d ≥ idle cwnd %d", cBusy.Cwnd(), cIdle.Cwnd())
+	}
+}
+
+// TestHistoryBoundedByInflight ensures the send-time window history drains
+// as ACKs arrive and never grows beyond the unacked packets.
+func TestHistoryBoundedByInflight(t *testing.T) {
+	c := New(DefaultParams(rate, rtt))
+	f := &transport.Flow{Size: units.MB}
+	for i := 0; i < 100; i++ {
+		c.OnSend(units.Time(i)*units.Microsecond, f, 1452)
+		f.Sent += 1452
+	}
+	if len(c.history) != 100 {
+		t.Fatalf("history %d, want 100", len(c.history))
+	}
+	c.OnAck(200*units.Microsecond, f, &packet.Packet{Type: packet.Ack, Seq: 1452 * 60})
+	if len(c.history) != 40 {
+		t.Errorf("history %d after cumulative ack of 60, want 40", len(c.history))
+	}
+}

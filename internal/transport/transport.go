@@ -1,0 +1,87 @@
+// Package transport defines the flow abstraction carried over the simulated
+// network and the congestion-control interface implemented by DCQCN
+// (internal/transport/dcqcn), PowerTCP (internal/transport/powertcp), and
+// the uncontrolled line-rate sender in this package.
+package transport
+
+import (
+	"dsh/internal/packet"
+	"dsh/units"
+)
+
+// Flow is one unidirectional transfer between two hosts. The host NIC
+// mutates the progress fields; congestion controllers keep their own state.
+type Flow struct {
+	ID    int
+	Src   int
+	Dst   int
+	Class packet.Class
+	// Size is the payload size to transfer.
+	Size units.ByteSize
+	// Start is the flow's arrival time.
+	Start units.Time
+	// Tag categorises the flow for metrics ("background", "fanin", ...).
+	Tag string
+
+	// Sent and Acked track payload progress.
+	Sent  units.ByteSize
+	Acked units.ByteSize
+	// FinishedAt is when the sender received the final ACK; <0 while running.
+	FinishedAt units.Time
+
+	// CC is the flow's congestion controller.
+	CC CongestionControl
+}
+
+// Remaining returns the unsent payload.
+func (f *Flow) Remaining() units.ByteSize { return f.Size - f.Sent }
+
+// Inflight returns sent-but-unacknowledged payload bytes.
+func (f *Flow) Inflight() units.ByteSize { return f.Sent - f.Acked }
+
+// Done reports whether the final ACK has been received.
+func (f *Flow) Done() bool { return f.FinishedAt >= 0 }
+
+// FCT returns the flow completion time; it is only meaningful once Done.
+func (f *Flow) FCT() units.Time { return f.FinishedAt - f.Start }
+
+// CongestionControl is the per-flow sender-side control loop.
+//
+// The host NIC consults AllowSend before injecting each packet. A controller
+// reports (false, 0) to wait for the next ACK/CNP event, or (false, t) to be
+// retried at time t (rate pacing).
+type CongestionControl interface {
+	// AllowSend reports whether the flow may inject a packet of the given
+	// payload size now.
+	AllowSend(now units.Time, f *Flow, payload units.ByteSize) (ok bool, retryAt units.Time)
+	// OnSend observes an injection of payload bytes.
+	OnSend(now units.Time, f *Flow, payload units.ByteSize)
+	// OnAck observes an acknowledgement (with echoed ECN/INT state).
+	OnAck(now units.Time, f *Flow, ack *packet.Packet)
+	// OnCNP observes a DCQCN congestion notification.
+	OnCNP(now units.Time, f *Flow)
+}
+
+// LineRate is the "no congestion control" sender: it always allows sending,
+// so the flow is paced purely by the NIC serialization rate (and PFC).
+type LineRate struct{}
+
+// NewLineRate returns a stateless line-rate controller usable by any number
+// of flows.
+func NewLineRate() *LineRate { return &LineRate{} }
+
+// AllowSend implements CongestionControl.
+func (*LineRate) AllowSend(units.Time, *Flow, units.ByteSize) (bool, units.Time) { return true, 0 }
+
+// OnSend implements CongestionControl.
+func (*LineRate) OnSend(units.Time, *Flow, units.ByteSize) {}
+
+// OnAck implements CongestionControl.
+func (*LineRate) OnAck(units.Time, *Flow, *packet.Packet) {}
+
+// OnCNP implements CongestionControl.
+func (*LineRate) OnCNP(units.Time, *Flow) {}
+
+// Factory builds a controller per flow. Implementations typically capture
+// the simulator and link parameters.
+type Factory func(f *Flow) CongestionControl

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsh/units"
+)
+
+func TestFlowProgressHelpers(t *testing.T) {
+	f := &Flow{ID: 1, Size: 10_000, FinishedAt: -1}
+	if f.Remaining() != 10_000 || f.Inflight() != 0 || f.Done() {
+		t.Errorf("fresh flow state wrong: %+v", f)
+	}
+	f.Sent = 4000
+	f.Acked = 1000
+	if f.Remaining() != 6000 {
+		t.Errorf("Remaining = %d", f.Remaining())
+	}
+	if f.Inflight() != 3000 {
+		t.Errorf("Inflight = %d", f.Inflight())
+	}
+	f.Start = 100
+	f.FinishedAt = 600
+	if !f.Done() || f.FCT() != 500 {
+		t.Errorf("completion state wrong: %+v", f)
+	}
+}
+
+func TestFlowInvariantsProperty(t *testing.T) {
+	f := func(size, sent, acked uint16) bool {
+		fl := &Flow{Size: units.ByteSize(size), FinishedAt: -1}
+		s := min(units.ByteSize(sent), fl.Size)
+		a := min(units.ByteSize(acked), s)
+		fl.Sent, fl.Acked = s, a
+		return fl.Remaining() >= 0 && fl.Inflight() >= 0 &&
+			fl.Remaining()+fl.Sent == fl.Size &&
+			fl.Inflight() == fl.Sent-fl.Acked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineRateAlwaysAllows(t *testing.T) {
+	lr := NewLineRate()
+	f := &Flow{Size: 100}
+	for now := units.Time(0); now < 10; now++ {
+		ok, retry := lr.AllowSend(now, f, 1500)
+		if !ok || retry != 0 {
+			t.Fatal("LineRate refused a send")
+		}
+	}
+	// All hooks are no-ops and must not panic.
+	lr.OnSend(0, f, 100)
+	lr.OnAck(0, f, nil)
+	lr.OnCNP(0, f)
+}
+
+func TestLineRateShareable(t *testing.T) {
+	// One instance is safely shared across flows (stateless).
+	lr := NewLineRate()
+	f1, f2 := &Flow{ID: 1}, &Flow{ID: 2}
+	lr.OnSend(0, f1, 100)
+	if ok, _ := lr.AllowSend(0, f2, 100); !ok {
+		t.Error("shared LineRate leaked state across flows")
+	}
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/packet"
+	"dsh/units"
+)
+
+func TestNewSizeDistValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		sizes []units.ByteSize
+		cdfs  []float64
+	}{
+		{"mismatched lengths", []units.ByteSize{1, 2}, []float64{1}},
+		{"too few knots", []units.ByteSize{1}, []float64{1}},
+		{"non-increasing sizes", []units.ByteSize{10, 10}, []float64{0.5, 1}},
+		{"non-increasing cdf", []units.ByteSize{10, 20}, []float64{0.5, 0.5}},
+		{"cdf not ending at 1", []units.ByteSize{10, 20}, []float64{0.5, 0.9}},
+		{"cdf above 1", []units.ByteSize{10, 20}, []float64{0.5, 1.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSizeDist("x", tt.sizes, tt.cdfs); err == nil {
+				t.Error("invalid distribution accepted")
+			}
+		})
+	}
+}
+
+func TestBuiltinDistributions(t *testing.T) {
+	for _, d := range []*SizeDist{WebSearch(), DataMining(), Cache(), Hadoop()} {
+		t.Run(d.Name(), func(t *testing.T) {
+			if d.Mean() <= 0 {
+				t.Fatalf("mean = %d", d.Mean())
+			}
+			rng := rand.New(rand.NewSource(1))
+			var sum float64
+			const n = 200_000
+			for i := 0; i < n; i++ {
+				s := d.Sample(rng)
+				if s < 1 {
+					t.Fatalf("sample %d < 1", s)
+				}
+				sum += float64(s)
+			}
+			emp := sum / n
+			want := float64(d.Mean())
+			if emp < want*0.8 || emp > want*1.2 {
+				t.Errorf("empirical mean %.0f vs analytic %.0f (>20%% off)", emp, want)
+			}
+		})
+	}
+}
+
+func TestDistributionShapes(t *testing.T) {
+	// The headline shape facts the paper's workloads rely on.
+	rng := rand.New(rand.NewSource(7))
+	frac := func(d *SizeDist, limit units.ByteSize) float64 {
+		n, c := 50_000, 0
+		for i := 0; i < n; i++ {
+			if d.Sample(rng) <= limit {
+				c++
+			}
+		}
+		return float64(c) / float64(n)
+	}
+	if f := frac(DataMining(), 10_000); f < 0.7 {
+		t.Errorf("data mining: %.2f of flows ≤10KB, want ≥0.7 (heavy small-flow mass)", f)
+	}
+	if f := frac(Cache(), 1000); f < 0.4 {
+		t.Errorf("cache: %.2f of flows ≤1KB, want ≥0.4", f)
+	}
+	if f := frac(WebSearch(), 10_000); f > 0.3 {
+		t.Errorf("web search: %.2f of flows ≤10KB, want <0.3 (larger flows)", f)
+	}
+	// Means must be ordered: cache < hadoop < websearch < datamining.
+	if !(Cache().Mean() < Hadoop().Mean() && Hadoop().Mean() < WebSearch().Mean() &&
+		WebSearch().Mean() < DataMining().Mean()) {
+		t.Errorf("mean ordering broken: cache=%d hadoop=%d websearch=%d datamining=%d",
+			Cache().Mean(), Hadoop().Mean(), WebSearch().Mean(), DataMining().Mean())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"websearch", "datamining", "cache", "hadoop"} {
+		d, err := ByName(name)
+		if err != nil || d.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSampleMonotoneInU(t *testing.T) {
+	// Property: sampling is deterministic given the RNG stream; two
+	// distributions built identically sample identically.
+	f := func(seed int64) bool {
+		a, b := WebSearch(), WebSearch()
+		ra, rb := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			if a.Sample(ra) != b.Sample(rb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackgroundLoadAccuracy(t *testing.T) {
+	hosts := make([]int, 16)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	b := Background{
+		Hosts: hosts, Dist: WebSearch(), Load: 0.5,
+		HostRate: 100 * units.Gbps,
+		Classes:  []packet.Class{0, 1, 2},
+	}
+	rng := rand.New(rand.NewSource(3))
+	dur := 50 * units.Millisecond
+	specs := b.Generate(rng, dur, 0)
+	if len(specs) == 0 {
+		t.Fatal("no flows generated")
+	}
+	var total units.ByteSize
+	for _, sp := range specs {
+		total += sp.Size
+		if sp.Src == sp.Dst {
+			t.Fatal("self-flow generated")
+		}
+		if sp.Start < 0 || sp.Start >= dur {
+			t.Fatalf("start %v outside window", sp.Start)
+		}
+		if sp.Class > 2 {
+			t.Fatalf("class %d outside configured set", sp.Class)
+		}
+		if sp.Tag != "background" {
+			t.Fatalf("tag %q", sp.Tag)
+		}
+	}
+	offered := float64(total) / dur.Seconds()             // B/s
+	capacity := float64(16) * float64(100*units.Gbps) / 8 // B/s
+	load := offered / capacity
+	if load < 0.35 || load > 0.65 {
+		t.Errorf("achieved load %.3f, want ≈0.5", load)
+	}
+}
+
+func TestBackgroundIDsSequential(t *testing.T) {
+	hosts := []int{0, 1, 2, 3}
+	b := Background{Hosts: hosts, Dist: Cache(), Load: 0.3, HostRate: units.Gbps}
+	specs := b.Generate(rand.New(rand.NewSource(1)), 10*units.Millisecond, 100)
+	for i, sp := range specs {
+		if sp.ID != 100+i {
+			t.Fatalf("ID %d at index %d, want %d", sp.ID, i, 100+i)
+		}
+		if i > 0 && sp.Start < specs[i-1].Start {
+			t.Fatal("arrivals not time-ordered")
+		}
+	}
+}
+
+func TestIncastStructure(t *testing.T) {
+	racks := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}
+	ic := Incast{
+		Racks: racks, FanIn: 4, FlowSize: 64 * 1024,
+		Load: 0.3, HostRate: 100 * units.Gbps, Class: 5,
+	}
+	specs := ic.Generate(rand.New(rand.NewSource(2)), 20*units.Millisecond, 0)
+	if len(specs) == 0 || len(specs)%4 != 0 {
+		t.Fatalf("%d specs, want positive multiple of fan-in 4", len(specs))
+	}
+	rackOf := func(h int) int { return h / 4 }
+	for i := 0; i < len(specs); i += 4 {
+		dst := specs[i].Dst
+		start := specs[i].Start
+		seen := map[int]bool{}
+		for j := i; j < i+4; j++ {
+			sp := specs[j]
+			if sp.Dst != dst || sp.Start != start {
+				t.Fatal("incast event not simultaneous to one receiver")
+			}
+			if rackOf(sp.Src) == rackOf(dst) {
+				t.Fatalf("sender %d in receiver rack", sp.Src)
+			}
+			if seen[sp.Src] {
+				t.Fatalf("duplicate sender %d", sp.Src)
+			}
+			seen[sp.Src] = true
+			if sp.Size != 64*1024 || sp.Class != 5 || sp.Tag != "fanin" {
+				t.Fatalf("bad spec %+v", sp)
+			}
+		}
+	}
+}
+
+func TestIncastSingleRackExcludesReceiver(t *testing.T) {
+	ic := Incast{
+		Racks: [][]int{{0, 1, 2, 3, 4}}, FanIn: 3, FlowSize: 1000,
+		Load: 0.2, HostRate: units.Gbps,
+	}
+	specs := ic.Generate(rand.New(rand.NewSource(5)), 50*units.Millisecond, 0)
+	for _, sp := range specs {
+		if sp.Src == sp.Dst {
+			t.Fatal("receiver chosen as sender")
+		}
+	}
+}
+
+func TestIncastFanInTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ic := Incast{Racks: [][]int{{0, 1}}, FanIn: 5, FlowSize: 1, Load: 0.1, HostRate: units.Gbps}
+	ic.Generate(rand.New(rand.NewSource(1)), units.Millisecond, 0)
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	hosts := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	mk := func() []FlowSpec {
+		b := Background{Hosts: hosts, Dist: Hadoop(), Load: 0.4, HostRate: 100 * units.Gbps}
+		return b.Generate(rand.New(rand.NewSource(42)), 10*units.Millisecond, 0)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package units provides the exact integer quantities the simulator is built
+// on: simulated time in picoseconds, data sizes in bytes, and link rates in
+// bits per second.
+//
+// Picoseconds are chosen so that serialization delays on every common
+// datacenter link rate are exact integers (one byte at 100 Gbps is exactly
+// 80 ps). All arithmetic is integer arithmetic, which keeps simulations
+// deterministic across platforms.
+package units
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Time is a simulated instant or duration, in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Microseconds returns t expressed in microseconds as a float64.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t expressed in milliseconds as a float64.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t >= Nanosecond || t <= -Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// ByteSize is a data size in bytes.
+type ByteSize int64
+
+// Common sizes. KB/MB follow the switching-chip convention (powers of two),
+// matching the paper's "16MB Tomahawk buffer" style figures.
+const (
+	Byte ByteSize = 1
+	KB            = 1024 * Byte
+	MB            = 1024 * KB
+	GB            = 1024 * MB
+)
+
+// Bits returns the size in bits.
+func (b ByteSize) Bits() int64 { return int64(b) * 8 }
+
+// String formats the size with an adaptive unit.
+func (b ByteSize) String() string {
+	switch {
+	case b >= GB || b <= -GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB || b <= -MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB || b <= -KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// BitRate is a link rate in bits per second.
+type BitRate int64
+
+// Common datacenter link rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+	Gbps                 = 1000 * Mbps
+	Tbps                 = 1000 * Gbps
+)
+
+// String formats the rate with an adaptive unit.
+func (r BitRate) String() string {
+	switch {
+	case r >= Tbps:
+		return fmt.Sprintf("%.2fTbps", float64(r)/float64(Tbps))
+	case r >= Gbps:
+		return fmt.Sprintf("%gGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%gMbps", float64(r)/float64(Mbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// TransmissionTime returns the exact serialization delay of size bytes on a
+// link of the given rate, rounded up to the next picosecond. It panics if
+// rate is not positive or size is negative: both indicate a mis-built
+// configuration rather than a runtime condition.
+func TransmissionTime(size ByteSize, rate BitRate) Time {
+	if rate <= 0 {
+		panic(fmt.Sprintf("units: non-positive rate %d", rate))
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("units: negative size %d", size))
+	}
+	// time_ps = size*8 * 1e12 / rate, computed in 128 bits to stay exact for
+	// arbitrarily large transfers.
+	hi, lo := bits.Mul64(uint64(size)*8, uint64(Second))
+	q, rem := bits.Div64(hi, lo, uint64(rate))
+	if rem != 0 {
+		q++
+	}
+	return Time(q)
+}
+
+// BytesInTime returns how many whole bytes a link of the given rate
+// serializes in duration d. It is the inverse of TransmissionTime (rounding
+// down). It panics on negative inputs or non-positive rate.
+func BytesInTime(d Time, rate BitRate) ByteSize {
+	if rate <= 0 {
+		panic(fmt.Sprintf("units: non-positive rate %d", rate))
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("units: negative duration %d", d))
+	}
+	// bytes = d * rate / (8 * 1e12)
+	hi, lo := bits.Mul64(uint64(d), uint64(rate))
+	q, _ := bits.Div64(hi, lo, 8*uint64(Second))
+	return ByteSize(q)
+}
+
+// BandwidthDelayProduct returns rate×rtt expressed in bytes (rounded down).
+func BandwidthDelayProduct(rate BitRate, rtt Time) ByteSize {
+	return BytesInTime(rtt, rate)
+}

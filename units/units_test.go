@@ -1,0 +1,164 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransmissionTimeExact(t *testing.T) {
+	tests := []struct {
+		name string
+		size ByteSize
+		rate BitRate
+		want Time
+	}{
+		{"one byte at 100G", 1, 100 * Gbps, 80 * Picosecond},
+		{"1500B at 100G", 1500, 100 * Gbps, 120 * Nanosecond},
+		{"1500B at 40G", 1500, 40 * Gbps, 300 * Nanosecond},
+		{"1500B at 10G", 1500, 10 * Gbps, 1200 * Nanosecond},
+		{"64B at 100G", 64, 100 * Gbps, 5120 * Picosecond},
+		{"zero size", 0, 100 * Gbps, 0},
+		{"3840B PFC processing cap at 100G", 3840, 100 * Gbps, 307200 * Picosecond},
+		{"1GB at 400G", GB, 400 * Gbps, Time(uint64(GB) * 8 * 1000 / 400)}, // 1073741824*20ps
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TransmissionTime(tt.size, tt.rate); got != tt.want {
+				t.Errorf("TransmissionTime(%d, %d) = %d, want %d", tt.size, tt.rate, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTransmissionTimeRoundsUp(t *testing.T) {
+	// 1 byte at 3 bps: 8/3 seconds => must round up to the next picosecond.
+	got := TransmissionTime(1, 3)
+	want := Time(8*int64(Second)/3 + 1)
+	if got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestBytesInTime(t *testing.T) {
+	tests := []struct {
+		d    Time
+		rate BitRate
+		want ByteSize
+	}{
+		{80 * Picosecond, 100 * Gbps, 1},
+		{120 * Nanosecond, 100 * Gbps, 1500},
+		{2 * Microsecond, 100 * Gbps, 25000},
+		{79 * Picosecond, 100 * Gbps, 0}, // partial byte rounds down
+		{0, 100 * Gbps, 0},
+	}
+	for _, tt := range tests {
+		if got := BytesInTime(tt.d, tt.rate); got != tt.want {
+			t.Errorf("BytesInTime(%d, %d) = %d, want %d", tt.d, tt.rate, got, tt.want)
+		}
+	}
+}
+
+func TestBandwidthDelayProduct(t *testing.T) {
+	// 100 Gbps, 16us RTT => 200000 bytes.
+	if got := BandwidthDelayProduct(100*Gbps, 16*Microsecond); got != 200000 {
+		t.Errorf("BDP = %d, want 200000", got)
+	}
+}
+
+// Property: BytesInTime(TransmissionTime(n, r), r) == n for any positive
+// size/rate pair in a realistic range.
+func TestTransmissionRoundTrip(t *testing.T) {
+	f := func(size uint32, rateSel uint8) bool {
+		rates := []BitRate{1 * Gbps, 10 * Gbps, 25 * Gbps, 40 * Gbps, 100 * Gbps, 400 * Gbps}
+		r := rates[int(rateSel)%len(rates)]
+		n := ByteSize(size % 10_000_000)
+		d := TransmissionTime(n, r)
+		back := BytesInTime(d, r)
+		return back == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transmission time is monotone in size and antitone in rate.
+func TestTransmissionTimeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s1, s2 := ByteSize(a), ByteSize(b)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		return TransmissionTime(s1, 100*Gbps) <= TransmissionTime(s2, 100*Gbps) &&
+			TransmissionTime(s2, 400*Gbps) <= TransmissionTime(s2, 100*Gbps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransmissionTimePanics(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero rate", func() { TransmissionTime(1, 0) }},
+		{"negative rate", func() { TransmissionTime(1, -1) }},
+		{"negative size", func() { TransmissionTime(-1, Gbps) }},
+		{"bytesintime negative d", func() { BytesInTime(-1, Gbps) }},
+		{"bytesintime zero rate", func() { BytesInTime(1, 0) }},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Microsecond).Milliseconds(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Milliseconds = %v, want 1.5", got)
+	}
+	if got := (2 * Microsecond).Seconds(); math.Abs(got-2e-6) > 1e-18 {
+		t.Errorf("Seconds = %v, want 2e-6", got)
+	}
+	if got := (250 * Nanosecond).Microseconds(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Microseconds = %v, want 0.25", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{Time(0).String(), "0s"},
+		{(2 * Second).String(), "2s"},
+		{(1500 * Microsecond).String(), "1.500ms"},
+		{(2 * Microsecond).String(), "2.000us"},
+		{(80 * Picosecond).String(), "80ps"},
+		{(3 * Nanosecond).String(), "3.000ns"},
+		{ByteSize(512).String(), "512B"},
+		{(16 * MB).String(), "16.00MB"},
+		{(3 * KB).String(), "3.00KB"},
+		{(2 * GB).String(), "2.00GB"},
+		{(100 * Gbps).String(), "100Gbps"},
+		{(25600 * Gbps).String(), "25.60Tbps"},
+		{(50 * Mbps).String(), "50Mbps"},
+		{BitRate(500).String(), "500bps"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	if got := ByteSize(1500).Bits(); got != 12000 {
+		t.Errorf("Bits = %d, want 12000", got)
+	}
+}

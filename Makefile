@@ -1,0 +1,30 @@
+# Verification entry points. `make verify` is what CI (and the roadmap's
+# tier-1 gate) should run: the plain suite plus the race-detector leg over
+# the short-mode suite, which covers the parallel sweep executor (stress
+# test with thousands of tiny jobs) and the short parallel≡serial
+# equivalence tests.
+
+GO ?= go
+
+.PHONY: build test race verify bench bench-sweep
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The race leg runs the short-mode suite: every test that spins up the
+# executor (including TestRunAllStress and the short equivalence tests)
+# under -race. Long macro sweeps are excluded by testing.Short.
+race:
+	$(GO) test -race -short ./...
+
+verify: test race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Serial vs parallel executor scaling on this machine.
+bench-sweep:
+	$(GO) test -bench=SweepWorkers -benchtime=3x

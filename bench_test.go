@@ -169,6 +169,54 @@ func BenchmarkAblationInsurance(b *testing.B) {
 	b.ReportMetric(without, "noport-drops")
 }
 
+// benchSweepWorkers runs the reduced Fig. 12 deadlock campaign — the
+// repetition-heaviest sweep of the evaluation — at a fixed worker count, so
+// `go test -bench=SweepWorkers` measures (not asserts) the executor's
+// scaling on this machine: compare the Serial and AllCores ns/op.
+func benchSweepWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		opt.Workers = workers
+		rows := dshsim.Fig12Reduced(opt, 3, 2*units.Millisecond)
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig12SweepWorkersSerial(b *testing.B)   { benchSweepWorkers(b, 1) }
+func BenchmarkFig12SweepWorkersAllCores(b *testing.B) { benchSweepWorkers(b, 0) }
+
+// BenchmarkFig11SweepWorkersSerial/AllCores do the same for the burst-size
+// microbenchmark sweep (12 independent single-switch runs).
+func benchFig11Workers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		opt.Workers = workers
+		if rows := dshsim.Fig11(opt); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig11SweepWorkersSerial(b *testing.B)   { benchFig11Workers(b, 1) }
+func BenchmarkFig11SweepWorkersAllCores(b *testing.B) { benchFig11Workers(b, 0) }
+
+// BenchmarkRunAllOverhead measures the executor's fixed cost per job
+// (channel hop + slot write + progress callback) with no-op jobs, i.e. the
+// floor below which parallelising a sweep cannot help.
+func BenchmarkRunAllOverhead(b *testing.B) {
+	jobs := make([]dshsim.Job, 256)
+	for i := range jobs {
+		jobs[i] = dshsim.Job{Name: "noop", Run: func() (any, error) { return nil, nil }}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dshsim.RunAll(jobs, 0, func(dshsim.SweepProgress) {})
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(jobs)), "ns/job")
+}
+
 // BenchmarkAblationQueueCount reports the Theorem 1 remark in simulation:
 // largest pause-free burst at 8 classes for each scheme.
 func BenchmarkAblationQueueCount(b *testing.B) {

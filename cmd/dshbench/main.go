@@ -11,15 +11,20 @@
 //
 // Flags:
 //
-//	-full    run at the paper's scale (much slower)
-//	-seed N  workload seed (default 1)
-//	-quiet   suppress progress lines
+//	-full      run at the paper's scale (much slower)
+//	-seed N    workload seed (default 1)
+//	-workers N sweep points run concurrently (default: all cores; results
+//	           are identical for any value — see README "Running sweeps in
+//	           parallel")
+//	-quiet     suppress progress lines
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"dsh/dshsim"
@@ -29,6 +34,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run at the paper's scale")
 	seed := flag.Int64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all cores)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Usage = usage
 	flag.Parse()
@@ -37,11 +43,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := dshsim.ExpOptions{Full: *full, Seed: *seed}
+	opt := dshsim.ExpOptions{Full: *full, Seed: *seed, Workers: *workers}
 	if !*quiet {
+		// One mutex serialises result lines and progress lines: with
+		// -workers > 1 the progress callback fires from worker goroutines.
+		var mu sync.Mutex
 		opt.Log = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 		}
+		opt.Progress = func(p dshsim.SweepProgress) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "# %s: %d/%d jobs done (%v elapsed, ~%v left) — %s\n",
+				p.Experiment, p.Done, p.Total,
+				p.Elapsed.Round(time.Millisecond), p.Remaining.Round(time.Millisecond), p.Job)
+		}
+		effective := *workers
+		if effective <= 0 {
+			effective = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "# workers: %d\n", effective)
 	}
 
 	experiments := map[string]func(dshsim.ExpOptions){
@@ -76,7 +99,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `dshbench regenerates the DSH paper's evaluation figures.
 
-usage: dshbench [-full] [-seed N] [-quiet] <experiment>
+usage: dshbench [-full] [-seed N] [-workers N] [-quiet] <experiment>
 
 experiments:
   fig4     Broadcom chip buffer/headroom trends (table)

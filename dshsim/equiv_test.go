@@ -1,0 +1,88 @@
+package dshsim
+
+import (
+	"reflect"
+	"testing"
+
+	"dsh/units"
+)
+
+// These tests are the determinism contract of the sweep executor: for the
+// same options, `Workers: N` must produce rows byte-identical to
+// `Workers: 1` — same FCTs, same pause durations, same deadlock counts and
+// onsets, same row order. They exercise the real experiment entry points
+// (micro, deadlock campaign, macro load sweep), not synthetic jobs, so a
+// regression anywhere in the job→seed→row pipeline fails here.
+
+// equivOpts returns the serial and parallel option sets of one comparison.
+func equivOpts(seed int64) (serial, parallel ExpOptions) {
+	serial = ExpOptions{Seed: seed, Workers: 1}
+	parallel = ExpOptions{Seed: seed, Workers: 4}
+	return
+}
+
+func TestFig11ParallelEquivalence(t *testing.T) {
+	fractions := []int{5, 20, 40}
+	if testing.Short() {
+		fractions = []int{5}
+	}
+	serialOpt, parallelOpt := equivOpts(1)
+	serial := fig11Sweep(serialOpt, fractions)
+	parallel := fig11Sweep(parallelOpt, fractions)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig11 rows differ between Workers:1 and Workers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestFig12ParallelEquivalence(t *testing.T) {
+	runs, duration := 2, 2*units.Millisecond
+	if testing.Short() {
+		runs, duration = 1, units.Millisecond
+	}
+	serialOpt, parallelOpt := equivOpts(3)
+	serial := Fig12Reduced(serialOpt, runs, duration)
+	parallel := Fig12Reduced(parallelOpt, runs, duration)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig12 rows differ between Workers:1 and Workers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestFig14ParallelEquivalence is the macro-sweep leg of the contract: a
+// Fig. 14 load sweep (paired SIH/DSH leaf–spine runs under DCQCN and
+// PowerTCP) on a test-sized fabric. LoadPoint rows carry the paired
+// average and p99 FCTs, so equality here means every completed flow's FCT
+// matched between the serial and parallel executions.
+func TestFig14ParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms macro sweep")
+	}
+	tiny := &fabricParams{
+		leaves: 2, spines: 2, hostsPerLeaf: 2,
+		rate: 100 * units.Gbps, duration: units.Millisecond, fanIn: 2,
+	}
+	serialOpt, parallelOpt := equivOpts(5)
+	serialOpt.testFabric, parallelOpt.testFabric = tiny, tiny
+	serialOpt.testLoads, parallelOpt.testLoads = []float64{0.3, 0.6}, []float64{0.3, 0.6}
+	serial := Fig14(serialOpt)
+	parallel := Fig14(parallelOpt)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig14 rows differ between Workers:1 and Workers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestParallelRepeatability re-runs the same parallel sweep twice: worker
+// scheduling may differ between executions, results must not.
+func TestParallelRepeatability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms simulation")
+	}
+	opt := ExpOptions{Seed: 9, Workers: 4}
+	a := fig11Sweep(opt, []int{10, 30})
+	b := fig11Sweep(opt, []int{10, 30})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("parallel sweep is not repeatable:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}

@@ -1,6 +1,8 @@
 package dshsim
 
 import (
+	"fmt"
+
 	"dsh/internal/topology"
 	"dsh/units"
 )
@@ -28,43 +30,55 @@ func AblationInsurance(opt ExpOptions) []AblationInsuranceRow {
 		hosts = 18
 		rate  = 100 * units.Gbps
 	)
-	var rows []AblationInsuranceRow
-	for _, disable := range []bool{false, true} {
-		nc := NetworkConfig{
-			Scheme:           DSH,
-			Transport:        TransportNone,
-			Buffer:           4 * units.MB, // cramped buffer
-			Alpha:            4,            // DT barely restrains queues
-			DisablePortLevel: disable,
-			Seed:             opt.Seed,
-		}
-		net := NewSingleSwitch(nc, hosts, rate)
-		// 16 senders × 4 classes, all into one port: ~6 MB offered against
-		// a 4 MB buffer.
-		var specs []FlowSpec
-		id := 1
-		for i := 0; i < 16; i++ {
-			for c := 0; c < 4; c++ {
-				specs = append(specs, FlowSpec{
-					ID: id, Src: i, Dst: 17, Size: 96 * units.KB,
-					Class: Class(c), Tag: "burst",
-				})
-				id++
+	variants := []bool{false, true}
+	// Both variants replay the same (deterministic) burst: paired seed.
+	seed := deriveSeed(opt.Seed, "ablation-insurance", 0, 0)
+	rows := sweep(opt, "ablation-insurance", len(variants),
+		func(i int) string {
+			if variants[i] {
+				return "DSH-noport"
 			}
-		}
-		res := Run(net, RunConfig{Specs: specs, Duration: 20 * units.Millisecond})
-		name := "DSH"
-		if disable {
-			name = "DSH-noport"
-		}
-		rows = append(rows, AblationInsuranceRow{
-			Variant:     name,
-			Drops:       res.Drops,
-			PauseFrames: res.PauseFrames,
-			Completed:   res.FCT.Count("burst"),
+			return "DSH"
+		},
+		func(i int) AblationInsuranceRow {
+			disable := variants[i]
+			nc := NetworkConfig{
+				Scheme:           DSH,
+				Transport:        TransportNone,
+				Buffer:           4 * units.MB, // cramped buffer
+				Alpha:            4,            // DT barely restrains queues
+				DisablePortLevel: disable,
+				Seed:             seed,
+			}
+			net := NewSingleSwitch(nc, hosts, rate)
+			// 16 senders × 4 classes, all into one port: ~6 MB offered
+			// against a 4 MB buffer.
+			var specs []FlowSpec
+			id := 1
+			for i := 0; i < 16; i++ {
+				for c := 0; c < 4; c++ {
+					specs = append(specs, FlowSpec{
+						ID: id, Src: i, Dst: 17, Size: 96 * units.KB,
+						Class: Class(c), Tag: "burst",
+					})
+					id++
+				}
+			}
+			res := Run(net, RunConfig{Specs: specs, Duration: 20 * units.Millisecond})
+			name := "DSH"
+			if disable {
+				name = "DSH-noport"
+			}
+			return AblationInsuranceRow{
+				Variant:     name,
+				Drops:       res.Drops,
+				PauseFrames: res.PauseFrames,
+				Completed:   res.FCT.Count("burst"),
+			}
 		})
-		opt.logf("ablation-insurance: %-10s drops %d  pauses %d  completed %d/%d",
-			name, res.Drops, res.PauseFrames, res.FCT.Count("burst"), len(specs))
+	for _, r := range rows {
+		opt.logf("ablation-insurance: %-10s drops %d  pauses %d  completed %d",
+			r.Variant, r.Drops, r.PauseFrames, r.Completed)
 	}
 	return rows
 }
@@ -84,17 +98,14 @@ type AblationAlphaRow struct {
 // with DSH keeping its advantage throughout.
 func AblationAlpha(opt ExpOptions) []AblationAlphaRow {
 	alphas := []float64{1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1}
+	pcts := []int{5, 10, 20, 30, 40, 50, 60, 70}
+	probes := probePauseFree(opt, "ablation-alpha", len(alphas), pcts,
+		func(point int, scheme Scheme, pct int, seed int64) bool {
+			return pauseFreeBurst(scheme, alphas[point], 8, pct, seed)
+		})
 	var rows []AblationAlphaRow
-	for _, a := range alphas {
-		row := AblationAlphaRow{Alpha: a}
-		for _, pct := range []int{5, 10, 20, 30, 40, 50, 60, 70} {
-			if pauseFreeBurst(opt, SIH, a, 8, pct) {
-				row.SIHMaxPct = pct
-			}
-			if pauseFreeBurst(opt, DSH, a, 8, pct) {
-				row.DSHMaxPct = pct
-			}
-		}
+	for ai, a := range alphas {
+		row := AblationAlphaRow{Alpha: a, SIHMaxPct: probes[ai][SIH], DSHMaxPct: probes[ai][DSH]}
 		opt.logf("ablation-alpha: α=%-6.4f SIH ≤%d%%  DSH ≤%d%%", a, row.SIHMaxPct, row.DSHMaxPct)
 		rows = append(rows, row)
 	}
@@ -114,28 +125,61 @@ type AblationQueueCountRow struct {
 // reservation scales with Nq), while DSH's is unaffected — the property
 // that lets DSH support many service classes.
 func AblationQueueCount(opt ExpOptions) []AblationQueueCountRow {
+	classCounts := []int{3, 5, 8}
+	pcts := []int{5, 10, 20, 30, 40, 50}
+	probes := probePauseFree(opt, "ablation-queues", len(classCounts), pcts,
+		func(point int, scheme Scheme, pct int, seed int64) bool {
+			return pauseFreeBurst(scheme, 1.0/16, classCounts[point], pct, seed)
+		})
 	var rows []AblationQueueCountRow
-	for _, classes := range []int{3, 5, 8} {
-		row := AblationQueueCountRow{Classes: classes}
-		for _, pct := range []int{5, 10, 20, 30, 40, 50} {
-			if pauseFreeBurst(opt, SIH, 1.0/16, classes, pct) {
-				row.SIHMaxPct = pct
-			}
-			if pauseFreeBurst(opt, DSH, 1.0/16, classes, pct) {
-				row.DSHMaxPct = pct
-			}
-		}
+	for ci, classes := range classCounts {
+		row := AblationQueueCountRow{Classes: classes, SIHMaxPct: probes[ci][SIH], DSHMaxPct: probes[ci][DSH]}
 		opt.logf("ablation-queues: classes=%d SIH ≤%d%%  DSH ≤%d%%", classes, row.SIHMaxPct, row.DSHMaxPct)
 		rows = append(rows, row)
 	}
 	return rows
 }
 
+// probePauseFree fans every (sweep point × scheme × burst size) probe of a
+// burst-absorption ablation through the executor and reduces each
+// (point, scheme) group to its largest pause-free burst percentage. Probes
+// within a point share the point's seed (the workload is deterministic;
+// pairing keeps SIH and DSH comparable).
+func probePauseFree(opt ExpOptions, expID string, points int, pcts []int,
+	probe func(point int, scheme Scheme, pct int, seed int64) bool) []map[Scheme]int {
+	schemes := []Scheme{SIH, DSH}
+	n := points * len(schemes) * len(pcts)
+	split := func(i int) (point, schemeIdx, pctIdx int) {
+		return i / (len(schemes) * len(pcts)), (i / len(pcts)) % len(schemes), i % len(pcts)
+	}
+	ok := sweep(opt, expID, n,
+		func(i int) string {
+			pt, si, pi := split(i)
+			return fmt.Sprintf("point %d %s burst %d%%", pt, schemes[si], pcts[pi])
+		},
+		func(i int) bool {
+			pt, si, pi := split(i)
+			return probe(pt, schemes[si], pcts[pi], deriveSeed(opt.Seed, expID, pt, 0))
+		})
+	out := make([]map[Scheme]int, points)
+	for pt := 0; pt < points; pt++ {
+		out[pt] = map[Scheme]int{SIH: 0, DSH: 0}
+		for si, scheme := range schemes {
+			for pi, pct := range pcts {
+				if ok[(pt*len(schemes)+si)*len(pcts)+pi] && pct > out[pt][scheme] {
+					out[pt][scheme] = pct
+				}
+			}
+		}
+	}
+	return out
+}
+
 // pauseFreeBurst runs a Fig. 11-style 16-way fan-in burst of the given size
 // (% of buffer) and reports whether the fan-in hosts saw zero pauses.
 // Larger bursts imply pauses for smaller ones, so callers can take the max
 // over an increasing probe sequence.
-func pauseFreeBurst(opt ExpOptions, scheme Scheme, alpha float64, classes int, burstPct int) bool {
+func pauseFreeBurst(scheme Scheme, alpha float64, classes int, burstPct int, seed int64) bool {
 	const (
 		hosts  = 32
 		rate   = 100 * units.Gbps
@@ -143,7 +187,7 @@ func pauseFreeBurst(opt ExpOptions, scheme Scheme, alpha float64, classes int, b
 	)
 	net := newNet(NetworkConfig{
 		Scheme: scheme, Transport: TransportNone, Buffer: buffer,
-		Alpha: alpha, Seed: opt.Seed,
+		Alpha: alpha, Seed: seed,
 	}, func(cfg topology.Config) *Network {
 		cfg.Classes = classes
 		cfg.AckClass = classes - 1

@@ -1,6 +1,7 @@
 package dshsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -34,6 +35,9 @@ type fabricParams struct {
 }
 
 func fabric(opt ExpOptions) fabricParams {
+	if opt.testFabric != nil {
+		return *opt.testFabric
+	}
 	if opt.Full {
 		// §V-B: 16 leaves × 16 hosts, 16 spines, 100 GbE, full bisection.
 		return fabricParams{16, 16, 16, 100 * units.Gbps, 50 * units.Millisecond, 16}
@@ -113,14 +117,29 @@ func Fig14(opt ExpOptions) []Fig14Row {
 	if opt.Full {
 		loads = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
 	}
+	if opt.testLoads != nil {
+		loads = opt.testLoads
+	}
+	transports := []TransportKind{TransportDCQCN, TransportPowerTCP}
+	n := len(transports) * len(loads)
+	// The point seed depends on the load only: both transports (and, inside
+	// runLoadPoint, both schemes) see the same flow schedule at a given
+	// load, keeping every column of the figure a paired comparison.
+	points := sweep(opt, "fig14", n,
+		func(i int) string {
+			return fmt.Sprintf("%s bg=%.1f", transports[i/len(loads)], loads[i%len(loads)])
+		},
+		func(i int) LoadPoint {
+			ti, li := i/len(loads), i%len(loads)
+			return runLoadPoint(opt, transports[ti], WebSearch(), loads[li], 0.9, "leafspine",
+				deriveSeed(opt.Seed, "fig14", li, 0))
+		})
 	var rows []Fig14Row
-	for _, tr := range []TransportKind{TransportDCQCN, TransportPowerTCP} {
-		row := Fig14Row{Transport: tr}
-		for _, load := range loads {
-			pt := runLoadPoint(opt, tr, WebSearch(), load, 0.9, "leafspine")
-			row.Points = append(row.Points, pt)
+	for ti, tr := range transports {
+		row := Fig14Row{Transport: tr, Points: points[ti*len(loads) : (ti+1)*len(loads)]}
+		for li, pt := range row.Points {
 			opt.logf("fig14: %-8s bg=%.1f  bg DSH/SIH %.3f  fanin DSH/SIH %.3f",
-				tr, load, pt.NormBg(), pt.NormFanin())
+				tr, loads[li], pt.NormBg(), pt.NormFanin())
 		}
 		rows = append(rows, row)
 	}
@@ -151,14 +170,24 @@ func Fig15(opt ExpOptions) []Fig15Row {
 		{"hadoop", "leafspine", Hadoop()},
 		{"websearch", "fattree", WebSearch()},
 	}
+	n := len(variants) * len(loads)
+	points := sweep(opt, "fig15", n,
+		func(i int) string {
+			v := variants[i/len(loads)]
+			return fmt.Sprintf("%s/%s bg=%.1f", v.name, v.topo, loads[i%len(loads)])
+		},
+		func(i int) LoadPoint {
+			vi, li := i/len(loads), i%len(loads)
+			v := variants[vi]
+			return runLoadPoint(opt, TransportDCQCN, v.dist, loads[li], 0.9, v.topo,
+				deriveSeed(opt.Seed, "fig15", vi, li))
+		})
 	var rows []Fig15Row
-	for _, v := range variants {
-		row := Fig15Row{Name: v.name, Topology: v.topo}
-		for _, load := range loads {
-			pt := runLoadPoint(opt, TransportDCQCN, v.dist, load, 0.9, v.topo)
-			row.Points = append(row.Points, pt)
+	for vi, v := range variants {
+		row := Fig15Row{Name: v.name, Topology: v.topo, Points: points[vi*len(loads) : (vi+1)*len(loads)]}
+		for li, pt := range row.Points {
 			opt.logf("fig15: %-10s/%-9s bg=%.1f  bg DSH/SIH %.3f",
-				v.name, v.topo, load, pt.NormBg())
+				v.name, v.topo, loads[li], pt.NormBg())
 		}
 		rows = append(rows, row)
 	}
@@ -169,13 +198,13 @@ func Fig15(opt ExpOptions) []Fig15Row {
 // schemes and returns the paired averages; topo is "leafspine" or
 // "fattree".
 func LoadPointAt(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad float64, topo string) LoadPoint {
-	return runLoadPoint(opt, tr, dist, bgLoad, 0.9, topo)
+	return runLoadPoint(opt, tr, dist, bgLoad, 0.9, topo, deriveSeed(opt.Seed, "loadpoint", 0, 0))
 }
 
 // LoadPointAt2 is LoadPointAt with an explicit total load (total − bg goes
 // to incast; equal loads mean no incast at all).
 func LoadPointAt2(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad, totalLoad float64, topo string) LoadPoint {
-	return runLoadPoint(opt, tr, dist, bgLoad, totalLoad, topo)
+	return runLoadPoint(opt, tr, dist, bgLoad, totalLoad, topo, deriveSeed(opt.Seed, "loadpoint", 0, 0))
 }
 
 // LoadPointScaled runs one Fig. 14-style point on an explicitly sized
@@ -187,11 +216,12 @@ func LoadPointScaled(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad fl
 	tags := map[int]string{}
 	const rate = 100 * units.Gbps
 	duration := 3 * units.Millisecond
+	seed := deriveSeed(opt.Seed, "loadpoint-scaled", leaves*1000+spines, hostsPerLeaf)
 	for _, scheme := range []Scheme{SIH, DSH} {
-		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: opt.Seed}
+		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed}
 		nc.bufferHook = paperPressureBuffers
 		ls := NewLeafSpine(nc, leaves, spines, hostsPerLeaf, rate, rate)
-		rng := rand.New(rand.NewSource(opt.Seed + 17))
+		rng := rand.New(rand.NewSource(seed))
 		specs := mixedSpecs(rng, ls.LeafHosts, dist, bgLoad, 0.9, rate, duration, 16)
 		res := Run(ls.Network, RunConfig{Specs: specs, Duration: duration, Drain: true, DrainCap: 10 * duration})
 		byID := make(map[int]units.Time)
@@ -215,13 +245,14 @@ func LoadPointScaled(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad fl
 // runLoadPoint runs the same workload under SIH and DSH and returns the
 // paired averages. Averages are computed over the flows that completed in
 // BOTH runs: a scheme that leaves its slowest flows unfinished must not be
-// rewarded by having them drop out of its mean.
-func runLoadPoint(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad, totalLoad float64, topo string) LoadPoint {
+// rewarded by having them drop out of its mean. seed drives the point's
+// flow schedule and ECN coin flips; both schemes use it identically.
+func runLoadPoint(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad, totalLoad float64, topo string, seed int64) LoadPoint {
 	pt := LoadPoint{BgLoad: bgLoad}
 	fcts := map[Scheme]map[int]units.Time{}
 	tags := map[int]string{}
 	for _, scheme := range []Scheme{SIH, DSH} {
-		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: opt.Seed}
+		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed}
 		if !opt.Full {
 			nc.bufferHook = paperPressureBuffers
 		} else {
@@ -254,7 +285,7 @@ func runLoadPoint(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad, tota
 		default:
 			panic("dshsim: unknown topology " + topo)
 		}
-		rng := rand.New(rand.NewSource(opt.Seed + 17))
+		rng := rand.New(rand.NewSource(seed))
 		specs := mixedSpecs(rng, racks, dist, bgLoad, totalLoad, rate, duration, fanIn)
 		res := Run(net, RunConfig{Specs: specs, Duration: duration, Drain: true, DrainCap: 10 * duration})
 		byID := make(map[int]units.Time)
@@ -333,19 +364,28 @@ func Fig5(opt ExpOptions) []Fig5Row {
 			10 * units.MB, 12 * units.MB, 15 * units.MB}
 	}
 	fp := fabric(opt)
-	var rows []Fig5Row
-	for _, buf := range buffers {
-		nc := NetworkConfig{Scheme: SIH, Transport: TransportPowerTCP, Buffer: buf, Seed: opt.Seed}
-		ls := NewLeafSpine(nc, fp.leaves, fp.spines, fp.hostsPerLeaf, fp.rate, fp.rate)
-		rng := rand.New(rand.NewSource(opt.Seed + 29))
-		// Fig. 5 uses a pure web-search workload at 90% load (no incast).
-		specs := mixedSpecs(rng, ls.LeafHosts, WebSearch(), 0.9, 0.9, fp.rate, fp.duration, fp.fanIn)
-		res := Run(ls.Network, RunConfig{Specs: specs, Duration: fp.duration, Drain: true, DrainCap: 8 * fp.duration})
-		avg := res.FCT.Avg("background")
-		p99 := res.FCT.Percentile("background", 0.99)
-		rows = append(rows, Fig5Row{Buffer: buf, AvgFCT: avg, P99FCT: p99, PauseFrames: res.PauseFrames})
-		opt.logf("fig5: buffer %v  avg FCT %v  p99 %v  pauses %d  unfinished %d",
-			buf, avg, p99, res.PauseFrames, res.Unfinished)
+	// Every buffer size replays the SAME workload (one shared seed): the
+	// sweep isolates the effect of the buffer, like the paper's Fig. 5.
+	seed := deriveSeed(opt.Seed, "fig5", 0, 0)
+	rows := sweep(opt, "fig5", len(buffers),
+		func(i int) string { return fmt.Sprintf("buffer %v", buffers[i]) },
+		func(i int) Fig5Row {
+			buf := buffers[i]
+			nc := NetworkConfig{Scheme: SIH, Transport: TransportPowerTCP, Buffer: buf, Seed: seed}
+			ls := NewLeafSpine(nc, fp.leaves, fp.spines, fp.hostsPerLeaf, fp.rate, fp.rate)
+			rng := rand.New(rand.NewSource(seed))
+			// Fig. 5 uses a pure web-search workload at 90% load (no incast).
+			specs := mixedSpecs(rng, ls.LeafHosts, WebSearch(), 0.9, 0.9, fp.rate, fp.duration, fp.fanIn)
+			res := Run(ls.Network, RunConfig{Specs: specs, Duration: fp.duration, Drain: true, DrainCap: 8 * fp.duration})
+			return Fig5Row{
+				Buffer:      buf,
+				AvgFCT:      res.FCT.Avg("background"),
+				P99FCT:      res.FCT.Percentile("background", 0.99),
+				PauseFrames: res.PauseFrames,
+			}
+		})
+	for _, r := range rows {
+		opt.logf("fig5: buffer %v  avg FCT %v  p99 %v  pauses %d", r.Buffer, r.AvgFCT, r.P99FCT, r.PauseFrames)
 	}
 	return rows
 }
@@ -363,7 +403,8 @@ type Fig6Result struct {
 // CDF of utilization.
 func Fig6(opt ExpOptions) Fig6Result {
 	fp := fabric(opt)
-	nc := NetworkConfig{Scheme: SIH, Transport: TransportDCQCN, Seed: opt.Seed}
+	seed := deriveSeed(opt.Seed, "fig6", 0, 0)
+	nc := NetworkConfig{Scheme: SIH, Transport: TransportDCQCN, Seed: seed}
 	if !opt.Full {
 		nc.bufferHook = paperPressureBuffers
 	} else {
@@ -397,7 +438,7 @@ func Fig6(opt ExpOptions) Fig6Result {
 	}
 	ls.Sim.Schedule(sampleEvery, sample)
 
-	rng := rand.New(rand.NewSource(opt.Seed + 31))
+	rng := rand.New(rand.NewSource(seed))
 	specs := mixedSpecs(rng, ls.LeafHosts, WebSearch(), 0.6, 0.9, fp.rate, fp.duration, fp.fanIn)
 	Run(ls.Network, RunConfig{Specs: specs, Duration: fp.duration})
 

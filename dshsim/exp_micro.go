@@ -16,10 +16,29 @@ type ExpOptions struct {
 	// 100 repetitions); the default is a reduced configuration that
 	// preserves the DSH-vs-SIH shape and finishes in seconds to minutes.
 	Full bool
-	// Seed drives workload generation and tie-break randomness.
+	// Seed drives workload generation and tie-break randomness. Per-point
+	// seeds are derived from it via deriveSeed, so every sweep point draws
+	// an independent stream.
 	Seed int64
-	// Log, when non-nil, receives progress lines.
+	// Workers bounds how many sweep points run concurrently; 0 means
+	// runtime.GOMAXPROCS(0). Every simulation is single-goroutine and owns
+	// its RNGs, so the results are bit-identical for any worker count;
+	// Workers == 1 additionally reproduces the serial execution order.
+	Workers int
+	// Log, when non-nil, receives result lines (one per completed sweep
+	// row, emitted in row order after the sweep finishes).
 	Log func(format string, args ...any)
+	// Progress, when non-nil, receives one callback per completed sweep
+	// job, as it completes. With Workers > 1 it may be called from worker
+	// goroutines (never concurrently with itself).
+	Progress func(SweepProgress)
+
+	// testFabric and testLoads are seams for the in-package parallel≡serial
+	// equivalence tests: they shrink the leaf–spine fabric and the Fig. 14
+	// load sweep so paired Workers:1 vs Workers:N comparisons stay fast.
+	// Unexported on purpose — production callers cannot reach them.
+	testFabric *fabricParams
+	testLoads  []float64
 }
 
 func (o ExpOptions) logf(format string, args ...any) {
@@ -46,29 +65,38 @@ func Fig11(opt ExpOptions) []Fig11Row {
 	if !opt.Full {
 		fractions = []int{5, 10, 20, 30, 40, 50}
 	}
+	return fig11Sweep(opt, fractions)
+}
+
+// fig11Sweep runs the burst sweep over an explicit fraction list: one job
+// per (burst size, scheme), both schemes of a point sharing the point's
+// derived seed (the paired comparison).
+func fig11Sweep(opt ExpOptions, fractions []int) []Fig11Row {
+	schemes := []Scheme{SIH, DSH}
+	n := len(fractions) * len(schemes)
+	paused := sweep(opt, "fig11", n,
+		func(i int) string {
+			return fmt.Sprintf("burst %d%% %s", fractions[i/len(schemes)], schemes[i%len(schemes)])
+		},
+		func(i int) units.Time {
+			pt, scheme := i/len(schemes), schemes[i%len(schemes)]
+			return fig11Run(scheme, fractions[pt], deriveSeed(opt.Seed, "fig11", pt, 0))
+		})
 	rows := make([]Fig11Row, len(fractions))
 	for i, pct := range fractions {
-		rows[i].BurstPct = pct
-		for _, scheme := range []Scheme{SIH, DSH} {
-			paused := fig11Run(scheme, pct, opt)
-			if scheme == SIH {
-				rows[i].SIHPaused = paused
-			} else {
-				rows[i].DSHPaused = paused
-			}
-		}
+		rows[i] = Fig11Row{BurstPct: pct, SIHPaused: paused[2*i], DSHPaused: paused[2*i+1]}
 		opt.logf("fig11: burst %2d%%  SIH %v  DSH %v", pct, rows[i].SIHPaused, rows[i].DSHPaused)
 	}
 	return rows
 }
 
-func fig11Run(scheme Scheme, burstPct int, opt ExpOptions) units.Time {
+func fig11Run(scheme Scheme, burstPct int, seed int64) units.Time {
 	const (
 		hosts  = 32
 		rate   = 100 * units.Gbps
 		buffer = 16 * units.MB
 	)
-	nc := NetworkConfig{Scheme: scheme, Transport: TransportNone, Buffer: buffer, Seed: opt.Seed}
+	nc := NetworkConfig{Scheme: scheme, Transport: TransportNone, Buffer: buffer, Seed: seed}
 	net := NewSingleSwitch(nc, hosts, rate)
 
 	burstTotal := units.ByteSize(float64(buffer) * float64(burstPct) / 100)
@@ -132,17 +160,43 @@ func Fig12(opt ExpOptions) []Fig12Row {
 	if opt.Full {
 		runs, hostsPerLeaf, duration, upRate = 100, 16, 100*units.Millisecond, 400*units.Gbps
 	}
+	return fig12Campaign(opt, runs, hostsPerLeaf, upRate, duration)
+}
+
+// Fig12Reduced runs the deadlock campaign with an explicit repetition count
+// and duration (used by the bench harness for quick paired comparisons).
+func Fig12Reduced(opt ExpOptions, runs int, duration units.Time) []Fig12Row {
+	return fig12Campaign(opt, runs, 4, 100*units.Gbps, duration)
+}
+
+// fig12Campaign submits every (transport × scheme × repetition) of the
+// deadlock experiment as one executor job. The seed of a repetition depends
+// on the transport and the run index but NOT on the scheme, so SIH and DSH
+// face identical workloads run for run — the paired comparison the figure
+// plots — while every repetition draws an independent stream.
+func fig12Campaign(opt ExpOptions, runs, hostsPerLeaf int, upRate units.BitRate, duration units.Time) []Fig12Row {
+	transports := []TransportKind{TransportDCQCN, TransportPowerTCP}
+	schemes := []Scheme{SIH, DSH}
+	perRow := runs
+	n := len(transports) * len(schemes) * perRow
+	split := func(i int) (trIdx, schemeIdx, run int) {
+		return i / (len(schemes) * perRow), (i / perRow) % len(schemes), i % perRow
+	}
+	onsets := sweep(opt, "fig12", n,
+		func(i int) string {
+			ti, si, run := split(i)
+			return fmt.Sprintf("%s/%s run %d", schemes[si], transports[ti], run)
+		},
+		func(i int) units.Time {
+			ti, si, run := split(i)
+			seed := deriveSeed(opt.Seed, "fig12", ti, run)
+			return fig12Run(schemes[si], transports[ti], hostsPerLeaf, upRate, duration, seed)
+		})
 	var rows []Fig12Row
-	for _, tr := range []TransportKind{TransportDCQCN, TransportPowerTCP} {
-		for _, scheme := range []Scheme{SIH, DSH} {
-			row := Fig12Row{Scheme: scheme, Transport: tr, Runs: runs}
-			for i := 0; i < runs; i++ {
-				onset := fig12Run(scheme, tr, hostsPerLeaf, upRate, duration, opt.Seed+int64(i)*977)
-				if onset >= 0 {
-					row.Deadlocks++
-					row.Onsets = append(row.Onsets, onset)
-				}
-			}
+	for ti, tr := range transports {
+		for si, scheme := range schemes {
+			base := (ti*len(schemes) + si) * perRow
+			row := fig12Row(scheme, tr, onsets[base:base+perRow])
 			opt.logf("fig12: %s/%-8s deadlocks %d/%d", scheme, tr, row.Deadlocks, row.Runs)
 			rows = append(rows, row)
 		}
@@ -150,24 +204,17 @@ func Fig12(opt ExpOptions) []Fig12Row {
 	return rows
 }
 
-// Fig12Reduced runs the deadlock campaign with an explicit repetition count
-// and duration (used by the bench harness for quick paired comparisons).
-func Fig12Reduced(opt ExpOptions, runs int, duration units.Time) []Fig12Row {
-	var rows []Fig12Row
-	for _, tr := range []TransportKind{TransportDCQCN, TransportPowerTCP} {
-		for _, scheme := range []Scheme{SIH, DSH} {
-			row := Fig12Row{Scheme: scheme, Transport: tr, Runs: runs}
-			for i := 0; i < runs; i++ {
-				onset := fig12Run(scheme, tr, 4, 100*units.Gbps, duration, opt.Seed+int64(i)*977)
-				if onset >= 0 {
-					row.Deadlocks++
-					row.Onsets = append(row.Onsets, onset)
-				}
-			}
-			rows = append(rows, row)
+// fig12Row folds one variant's per-run deadlock onsets (negative = the run
+// did not deadlock) into its summary row.
+func fig12Row(scheme Scheme, tr TransportKind, onsets []units.Time) Fig12Row {
+	row := Fig12Row{Scheme: scheme, Transport: tr, Runs: len(onsets)}
+	for _, onset := range onsets {
+		if onset >= 0 {
+			row.Deadlocks++
+			row.Onsets = append(row.Onsets, onset)
 		}
 	}
-	return rows
+	return row
 }
 
 func fig12Run(scheme Scheme, tr TransportKind, hostsPerLeaf int, upRate units.BitRate, duration units.Time, seed int64) units.Time {
@@ -261,63 +308,78 @@ func (r Fig13Row) MinDuringBurst() units.BitRate {
 // link, then 24 concurrent 64 KB fan-in flows into R1. It reports F0's
 // goodput time series for each transport and scheme.
 func Fig13(opt ExpOptions) []Fig13Row {
+	transports := []TransportKind{TransportNone, TransportDCQCN, TransportPowerTCP}
+	schemes := []Scheme{SIH, DSH}
+	n := len(transports) * len(schemes)
+	rows := sweep(opt, "fig13", n,
+		func(i int) string {
+			return fmt.Sprintf("%s/%s", schemes[i%len(schemes)], transports[i/len(schemes)])
+		},
+		func(i int) Fig13Row {
+			ti := i / len(schemes)
+			// Both schemes of a transport share the point seed (the seed
+			// only drives ECN coin flips; pairing keeps them comparable).
+			return fig13Run(schemes[i%len(schemes)], transports[ti],
+				deriveSeed(opt.Seed, "fig13", ti, 0))
+		})
+	for _, r := range rows {
+		opt.logf("fig13: %s/%-8s min F0 goodput during burst: %v", r.Scheme, r.Transport,
+			r.MinDuringBurst())
+	}
+	return rows
+}
+
+func fig13Run(scheme Scheme, tr TransportKind, seed int64) Fig13Row {
 	const (
 		fanIn = 24
 		rate  = 100 * units.Gbps
 		bin   = 10 * units.Microsecond
 	)
-	var rows []Fig13Row
-	for _, tr := range []TransportKind{TransportNone, TransportDCQCN, TransportPowerTCP} {
-		// The paper bursts only after F0/F1 have converged to ~50 Gbps.
-		// DCQCN recovers from its initial rate crash in milliseconds; the
-		// window transports converge much faster.
-		var burstAt units.Time
-		switch tr {
-		case TransportDCQCN:
-			burstAt = 4 * units.Millisecond
-		case TransportPowerTCP:
-			burstAt = 500 * units.Microsecond
-		default:
-			burstAt = 200 * units.Microsecond
-		}
-		horizon := burstAt + 600*units.Microsecond
-		for _, scheme := range []Scheme{SIH, DSH} {
-			nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: opt.Seed}
-			cd := NewCollateralUnit(nc, fanIn, rate)
+	// The paper bursts only after F0/F1 have converged to ~50 Gbps.
+	// DCQCN recovers from its initial rate crash in milliseconds; the
+	// window transports converge much faster.
+	var burstAt units.Time
+	switch tr {
+	case TransportDCQCN:
+		burstAt = 4 * units.Millisecond
+	case TransportPowerTCP:
+		burstAt = 500 * units.Microsecond
+	default:
+		burstAt = 200 * units.Microsecond
+	}
+	horizon := burstAt + 600*units.Microsecond
 
-			bgSize := units.BytesInTime(2*horizon, rate)
-			specs := []FlowSpec{
-				{ID: 1, Src: cd.H0, Dst: cd.R0, Size: bgSize, Start: 0, Class: 0, Tag: "F0"},
-				{ID: 2, Src: cd.H1, Dst: cd.R1, Size: bgSize, Start: 0, Class: 0, Tag: "F1"},
-			}
-			for i, h := range cd.FanHosts {
-				specs = append(specs, FlowSpec{
-					ID: 10 + i, Src: h, Dst: cd.R1, Size: 64 * 1024,
-					Start: burstAt, Class: 0, Tag: "fanin",
-				})
-			}
-			// Sample R0's received payload every bin; R0 receives only F0.
-			meter := metrics.NewThroughputMeter(bin)
-			r0 := cd.Hosts[cd.R0]
-			var prev units.ByteSize
-			var sample func()
-			sample = func() {
-				cur := r0.RxDataBytes()
-				meter.Add(cd.Sim.Now()-1, cur-prev) // attribute to the ending bin
-				prev = cur
-				if cd.Sim.Now() < horizon {
-					cd.Sim.Schedule(bin, sample)
-				}
-			}
+	nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed}
+	cd := NewCollateralUnit(nc, fanIn, rate)
+
+	bgSize := units.BytesInTime(2*horizon, rate)
+	specs := []FlowSpec{
+		{ID: 1, Src: cd.H0, Dst: cd.R0, Size: bgSize, Start: 0, Class: 0, Tag: "F0"},
+		{ID: 2, Src: cd.H1, Dst: cd.R1, Size: bgSize, Start: 0, Class: 0, Tag: "F1"},
+	}
+	for i, h := range cd.FanHosts {
+		specs = append(specs, FlowSpec{
+			ID: 10 + i, Src: h, Dst: cd.R1, Size: 64 * 1024,
+			Start: burstAt, Class: 0, Tag: "fanin",
+		})
+	}
+	// Sample R0's received payload every bin; R0 receives only F0.
+	meter := metrics.NewThroughputMeter(bin)
+	r0 := cd.Hosts[cd.R0]
+	var prev units.ByteSize
+	var sample func()
+	sample = func() {
+		cur := r0.RxDataBytes()
+		meter.Add(cd.Sim.Now()-1, cur-prev) // attribute to the ending bin
+		prev = cur
+		if cd.Sim.Now() < horizon {
 			cd.Sim.Schedule(bin, sample)
-
-			Run(cd.Network, RunConfig{Specs: specs, Duration: horizon})
-			rows = append(rows, Fig13Row{
-				Scheme: scheme, Transport: tr, Bin: bin, Series: meter.Series(), BurstAt: burstAt,
-			})
-			opt.logf("fig13: %s/%-8s min F0 goodput during burst: %v", scheme, tr,
-				rows[len(rows)-1].MinDuringBurst())
 		}
 	}
-	return rows
+	cd.Sim.Schedule(bin, sample)
+
+	Run(cd.Network, RunConfig{Specs: specs, Duration: horizon})
+	return Fig13Row{
+		Scheme: scheme, Transport: tr, Bin: bin, Series: meter.Series(), BurstAt: burstAt,
+	}
 }

@@ -1,0 +1,54 @@
+package dshsim
+
+import (
+	"testing"
+
+	"dsh/units"
+)
+
+func TestFig12RowEdgeCases(t *testing.T) {
+	// Runs == 0: an empty campaign must report zero deadlocks and a zero
+	// fraction, not NaN or a divide-by-zero panic.
+	empty := fig12Row(DSH, TransportDCQCN, nil)
+	if empty.Runs != 0 || empty.Deadlocks != 0 || len(empty.Onsets) != 0 {
+		t.Errorf("empty row = %+v", empty)
+	}
+	if f := empty.DeadlockFraction(); f != 0 {
+		t.Errorf("empty DeadlockFraction() = %v, want 0", f)
+	}
+
+	// All runs deadlock: every onset is kept, in run order.
+	onsets := []units.Time{3 * units.Millisecond, units.Millisecond, 2 * units.Millisecond}
+	all := fig12Row(SIH, TransportPowerTCP, onsets)
+	if all.Runs != 3 || all.Deadlocks != 3 {
+		t.Errorf("all-deadlock row = %+v", all)
+	}
+	if all.DeadlockFraction() != 1 {
+		t.Errorf("all-deadlock fraction = %v", all.DeadlockFraction())
+	}
+	for i, want := range onsets {
+		if all.Onsets[i] != want {
+			t.Errorf("onset[%d] = %v, want %v (run order must be preserved)", i, all.Onsets[i], want)
+		}
+	}
+
+	// No run deadlocks: negative onsets mean "no deadlock" and must not
+	// leak into the onset list.
+	none := fig12Row(DSH, TransportPowerTCP, []units.Time{-1, -1, -1, -1})
+	if none.Runs != 4 || none.Deadlocks != 0 || len(none.Onsets) != 0 {
+		t.Errorf("no-deadlock row = %+v", none)
+	}
+	if none.DeadlockFraction() != 0 {
+		t.Errorf("no-deadlock fraction = %v", none.DeadlockFraction())
+	}
+
+	// Mixed: onset 0 is a legitimate deadlock-at-t=0, only negatives are
+	// "clean".
+	mixed := fig12Row(SIH, TransportDCQCN, []units.Time{0, -1, 5 * units.Microsecond})
+	if mixed.Deadlocks != 2 || len(mixed.Onsets) != 2 {
+		t.Errorf("mixed row = %+v", mixed)
+	}
+	if got, want := mixed.DeadlockFraction(), 2.0/3.0; got != want {
+		t.Errorf("mixed fraction = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,180 @@
+package dshsim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		jobs := make([]Job, 20)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{Name: fmt.Sprintf("job %d", i), Run: func() (any, error) { return i * i, nil }}
+		}
+		results := RunAll(jobs, workers, nil)
+		if len(results) != len(jobs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(results), len(jobs))
+		}
+		for i, r := range results {
+			if r.Index != i || r.Value != i*i || r.Err != nil || r.Name != jobs[i].Name {
+				t.Errorf("workers=%d: result[%d] = {Index:%d Value:%v Err:%v Name:%q}",
+					workers, i, r.Index, r.Value, r.Err, r.Name)
+			}
+		}
+	}
+}
+
+func TestRunAllEmpty(t *testing.T) {
+	if got := RunAll(nil, 4, nil); len(got) != 0 {
+		t.Errorf("RunAll(nil) returned %d results", len(got))
+	}
+}
+
+// TestRunAllPanicCapture: a panicking job must fail with its own context —
+// name, index, panic value, stack — and must not take down the other jobs.
+func TestRunAllPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		jobs := []Job{
+			{Name: "ok-0", Run: func() (any, error) { return "a", nil }},
+			{Name: "boom", Run: func() (any, error) { panic("simulated deadlock detector bug") }},
+			{Name: "ok-2", Run: func() (any, error) { return "c", nil }},
+			{Name: "err", Run: func() (any, error) { return nil, errors.New("plain error") }},
+		}
+		results := RunAll(jobs, workers, nil)
+		if results[0].Err != nil || results[0].Value != "a" {
+			t.Errorf("workers=%d: healthy job before the panic was affected: %+v", workers, results[0])
+		}
+		if results[2].Err != nil || results[2].Value != "c" {
+			t.Errorf("workers=%d: healthy job after the panic was affected: %+v", workers, results[2])
+		}
+		if err := results[1].Err; err == nil {
+			t.Errorf("workers=%d: panic not captured", workers)
+		} else {
+			for _, want := range []string{"boom", "index 1", "simulated deadlock detector bug", "goroutine"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("workers=%d: captured panic lacks %q: %v", workers, want, err)
+				}
+			}
+		}
+		if results[1].Value != nil {
+			t.Errorf("workers=%d: panicked job has a value: %v", workers, results[1].Value)
+		}
+		if results[3].Err == nil || results[3].Err.Error() != "plain error" {
+			t.Errorf("workers=%d: plain error mangled: %v", workers, results[3].Err)
+		}
+	}
+}
+
+func TestRunAllProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 10
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func() (any, error) { return nil, nil }}
+		}
+		var events []SweepProgress
+		RunAll(jobs, workers, func(p SweepProgress) { events = append(events, p) })
+		if len(events) != n {
+			t.Fatalf("workers=%d: %d progress events, want %d", workers, len(events), n)
+		}
+		for i, p := range events {
+			// The callback is serialised, so Done must count 1..n in
+			// callback order even when jobs finish on different workers.
+			if p.Done != i+1 || p.Total != n {
+				t.Errorf("workers=%d: event %d = %d/%d", workers, i, p.Done, p.Total)
+			}
+			if p.Failed {
+				t.Errorf("workers=%d: event %d marked failed", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunAllStress hammers the pool with many tiny jobs; combined with the
+// `-race` verification leg (see Makefile) this is the executor's memory-
+// safety certificate: result slots, progress state, and the job counter
+// must stay race-free under maximal contention.
+func TestRunAllStress(t *testing.T) {
+	const n = 2000
+	var live, peak, ran atomic.Int64
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("tiny %d", i), Run: func() (any, error) {
+			cur := live.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			ran.Add(1)
+			live.Add(-1)
+			if i%97 == 0 {
+				panic("stress panic")
+			}
+			return i, nil
+		}}
+	}
+	var done atomic.Int64
+	results := RunAll(jobs, 8, func(SweepProgress) { done.Add(1) })
+	if ran.Load() != n || done.Load() != n {
+		t.Fatalf("ran %d jobs, %d progress events, want %d", ran.Load(), done.Load(), n)
+	}
+	if p := peak.Load(); p > 8 {
+		t.Errorf("concurrency peak %d exceeds the 8-worker cap", p)
+	}
+	for i, r := range results {
+		if i%97 == 0 {
+			if r.Err == nil {
+				t.Fatalf("job %d: panic not captured", i)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Fatalf("job %d: value %v err %v", i, r.Value, r.Err)
+		}
+	}
+}
+
+// TestSweepPanicsOnFailedJob pins the harness contract: experiment sweeps
+// still panic on impossible outcomes (as the serial loops did), but only
+// after every job has finished, and with the failing job named.
+func TestSweepPanicsOnFailedJob(t *testing.T) {
+	var survivors atomic.Int64
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("sweep did not panic on a failed job")
+		}
+		msg := fmt.Sprint(p)
+		if !strings.Contains(msg, "myexp") || !strings.Contains(msg, "point 1") {
+			t.Errorf("panic lacks experiment/job context: %s", msg)
+		}
+		if survivors.Load() != 3 {
+			t.Errorf("only %d healthy jobs ran to completion before the panic", survivors.Load())
+		}
+	}()
+	sweep(ExpOptions{Workers: 2}, "myexp", 4,
+		func(i int) string { return fmt.Sprintf("point %d", i) },
+		func(i int) int {
+			if i == 1 {
+				panic("bad point")
+			}
+			survivors.Add(1)
+			return i
+		})
+}
+
+func TestExpOptionsWorkers(t *testing.T) {
+	if got := (ExpOptions{}).workers(); got < 1 {
+		t.Errorf("default workers = %d", got)
+	}
+	if got := (ExpOptions{Workers: 3}).workers(); got != 3 {
+		t.Errorf("explicit workers = %d, want 3", got)
+	}
+}

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-sweep
+.PHONY: build test race verify lint bench bench-sweep bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,21 @@ test: build
 
 # The race leg runs the short-mode suite: every test that spins up the
 # executor (including TestRunAllStress and the short equivalence tests)
-# under -race. Long macro sweeps are excluded by testing.Short.
+# under -race. It also arms the packet pool's mutate-after-release poison
+# guard (build tag `race`). Long macro sweeps are excluded by testing.Short.
 race:
 	$(GO) test -race -short ./...
 
 verify: test race
+
+# gofmt (fail on any unformatted file) + go vet. CI runs staticcheck on
+# top, advisory, since the repo vendors no tools.
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -28,3 +38,13 @@ bench:
 # Serial vs parallel executor scaling on this machine.
 bench-sweep:
 	$(GO) test -bench=SweepWorkers -benchtime=3x
+
+# One iteration of every benchmark: a crash/assert smoke test, not a
+# measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -short -benchmem ./...
+
+# Stable numbers for the perf trajectory: runs the kernel suite in
+# dshsim/benchkit and writes the schema-stable JSON report.
+bench-json:
+	$(GO) run ./cmd/dshbench -bench-json BENCH_PR2.json

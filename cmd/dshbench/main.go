@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"dsh/dshsim"
+	"dsh/dshsim/benchkit"
 	"dsh/units"
 )
 
@@ -36,8 +37,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all cores)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	benchJSON := flag.String("bench-json", "", "run the perf kernel suite and write the JSON report to this path ('-' for stdout)")
 	flag.Usage = usage
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -96,10 +105,29 @@ func main() {
 	runOne(name, fn, opt)
 }
 
+// runBenchJSON runs the perf kernel suite (dshsim/benchkit) and writes the
+// schema-stable report CI trends across PRs.
+func runBenchJSON(path string) error {
+	rep := benchkit.Collect()
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `dshbench regenerates the DSH paper's evaluation figures.
 
 usage: dshbench [-full] [-seed N] [-workers N] [-quiet] <experiment>
+       dshbench -bench-json <path>   run the perf kernels, write a JSON report
 
 experiments:
   fig4     Broadcom chip buffer/headroom trends (table)

@@ -1,0 +1,11 @@
+package benchkit
+
+import "testing"
+
+// `go test -bench` entry points for the kernel suite; the same functions
+// back the programmatic JSON collection (see report.go).
+
+func BenchmarkEventEngine(b *testing.B) { EventEngine(b) }
+func BenchmarkForwarding(b *testing.B)  { Forwarding(b) }
+func BenchmarkIncast(b *testing.B)      { Incast(b) }
+func BenchmarkFig11(b *testing.B)       { Fig11(b) }

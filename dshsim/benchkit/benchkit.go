@@ -1,0 +1,109 @@
+// Package benchkit holds the repo's performance micro-benchmark kernels and
+// the schema-stable JSON emitter behind `make bench-json` and
+// `dshbench -bench-json`.
+//
+// The kernels are plain func(*testing.B) so the same code backs both the
+// `go test -bench` entry points (bench_test.go at the repo root) and the
+// programmatic collection that appends one comparable point per PR to the
+// perf trajectory (BENCH_PR<n>.json at the repo root).
+package benchkit
+
+import (
+	"testing"
+
+	"dsh/dshsim"
+	"dsh/internal/sim"
+	"dsh/internal/topology"
+	"dsh/internal/transport"
+	"dsh/units"
+)
+
+// engineTick is a self-rescheduling action: each dispatch re-arms the timer
+// until the budget is spent, so the engine runs at steady state (heap size 1).
+type engineTick struct {
+	s    *sim.Simulator
+	left int
+}
+
+func (t *engineTick) Run(any, int64) {
+	t.left--
+	if t.left > 0 {
+		t.s.ScheduleAction(1, t, nil, 0)
+	}
+}
+
+// EventEngine measures the raw scheduler: one schedule + dispatch of a
+// pre-bound action per op on a warm engine. The tentpole target is
+// 0 allocs/op here.
+func EventEngine(b *testing.B) {
+	s := sim.New()
+	t := &engineTick{s: s, left: b.N}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.ScheduleAction(1, t, nil, 0)
+	s.Run()
+}
+
+// Forwarding measures the steady-state packet forwarding path: one switch,
+// two hosts, one long line-rate flow of exactly b.N MTU packets. Per-op cost
+// is per data packet end to end (inject → switch enqueue/dequeue → deliver →
+// ACK back), the hot path every macro experiment is made of.
+func Forwarding(b *testing.B) {
+	cfg := topology.Config{Scheme: topology.DSH, Buffer: 16 * units.MB, Seed: 1}
+	net := topology.SingleSwitch(cfg, 2, 100*units.Gbps)
+	payload := net.Cfg.MTU - net.Cfg.Header
+	f := &transport.Flow{
+		ID: 1, Src: 0, Dst: 1, Class: 0,
+		Size: units.ByteSize(b.N) * payload,
+		CC:   transport.NewLineRate(),
+	}
+	net.AddFlow(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	net.Sim.Run()
+	b.StopTimer()
+	if !f.Done() {
+		b.Fatal("forwarding flow did not complete")
+	}
+	b.ReportMetric(float64(net.Sim.Processed())/float64(b.N), "events/pkt")
+}
+
+// Incast measures a complete 16:1 incast run (64 KB per sender, drained),
+// including network construction — the unit the Fig. 11/14 sweeps repeat.
+func Incast(b *testing.B) {
+	const fanIn = 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nc := dshsim.NetworkConfig{
+			Scheme: dshsim.DSH, Transport: dshsim.TransportNone,
+			Buffer: 16 * units.MB, Seed: 1,
+		}
+		net := dshsim.NewSingleSwitch(nc, fanIn+2, 100*units.Gbps)
+		specs := make([]dshsim.FlowSpec, fanIn)
+		for j := range specs {
+			specs[j] = dshsim.FlowSpec{
+				ID: j + 1, Src: j, Dst: fanIn, Size: 64 * units.KB,
+				Class: 0, Tag: "fanin",
+			}
+		}
+		res := dshsim.Run(net, dshsim.RunConfig{
+			Specs: specs, Duration: units.Millisecond, Drain: true,
+		})
+		if res.Unfinished != 0 {
+			b.Fatalf("incast left %d flows unfinished", res.Unfinished)
+		}
+	}
+}
+
+// Fig11 measures the full Fig. 11 PFC-avoidance sweep (12 paired runs,
+// serial so the number is scheduling-noise free) — the repo's heaviest
+// single-switch micro-benchmark.
+func Fig11(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := dshsim.Fig11(dshsim.ExpOptions{Seed: 1, Workers: 1})
+		if len(rows) == 0 {
+			b.Fatal("fig11 returned no rows")
+		}
+	}
+}

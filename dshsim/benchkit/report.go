@@ -1,0 +1,111 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// SchemaVersion identifies the report layout. Bump only on breaking field
+// changes; tooling that trends BENCH_PR<n>.json files across PRs keys on it.
+const SchemaVersion = "dsh-bench/v1"
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is the schema-stable document emitted by `make bench-json` /
+// `dshbench -bench-json`.
+type Report struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// kernel names a benchmark function for programmatic collection.
+type kernel struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// defaultKernels is the suite behind Collect, slowest last.
+func defaultKernels() []kernel {
+	return []kernel{
+		{"EventEngine", EventEngine},
+		{"Forwarding", Forwarding},
+		{"Incast", Incast},
+		{"Fig11", Fig11},
+	}
+}
+
+// Collect runs the standard kernel suite through testing.Benchmark and
+// returns the report.
+func Collect() Report { return collect(defaultKernels()) }
+
+func collect(kernels []kernel) Report {
+	rep := Report{
+		Schema:    SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, k := range kernels {
+		r := testing.Benchmark(k.fn)
+		rep.Benchmarks = append(rep.Benchmarks, BenchResult{
+			Name:        k.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		})
+	}
+	return rep
+}
+
+// Validate checks the report against the schema contract; CI's bench-smoke
+// job and the unit tests call it so a field rename cannot slip through.
+func (r Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("missing toolchain metadata: %+v", r)
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks in report")
+	}
+	for i, b := range r.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark %d has no name", i)
+		}
+		if b.Iterations <= 0 {
+			return fmt.Errorf("benchmark %s: iterations %d", b.Name, b.Iterations)
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("benchmark %s: ns_per_op %v", b.Name, b.NsPerOp)
+		}
+		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 {
+			return fmt.Errorf("benchmark %s: negative alloc stats", b.Name)
+		}
+	}
+	return nil
+}
+
+// WriteJSON validates and writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,77 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// fastKernel is a trivial benchmark body so the emitter tests stay cheap.
+func fastKernel(b *testing.B) {
+	var x int
+	for i := 0; i < b.N; i++ {
+		x += i
+	}
+	_ = x
+}
+
+func TestCollectProducesValidReport(t *testing.T) {
+	rep := collect([]kernel{{"Fast", fastKernel}})
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if rep.Benchmarks[0].Name != "Fast" || rep.Benchmarks[0].Iterations <= 0 {
+		t.Fatalf("bad result: %+v", rep.Benchmarks[0])
+	}
+}
+
+// TestReportJSONSchemaIsStable pins the exact field names of the wire
+// format: tooling diffs BENCH_PR<n>.json across PRs, so a rename is a
+// breaking change that must bump SchemaVersion.
+func TestReportJSONSchemaIsStable(t *testing.T) {
+	rep := collect([]kernel{{"Fast", fastKernel}})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"schema", "go_version", "goos", "goarch", "benchmarks"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("top-level key %q missing from %s", key, buf.String())
+		}
+	}
+	bench := doc["benchmarks"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "iterations", "ns_per_op", "allocs_per_op", "bytes_per_op"} {
+		if _, ok := bench[key]; !ok {
+			t.Errorf("benchmark key %q missing from %s", key, buf.String())
+		}
+	}
+	if doc["schema"] != SchemaVersion {
+		t.Errorf("schema = %v, want %v", doc["schema"], SchemaVersion)
+	}
+}
+
+func TestValidateRejectsBrokenReports(t *testing.T) {
+	good := collect([]kernel{{"Fast", fastKernel}})
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "dsh-bench/v0" }},
+		{"no benchmarks", func(r *Report) { r.Benchmarks = nil }},
+		{"unnamed benchmark", func(r *Report) { r.Benchmarks[0].Name = "" }},
+		{"zero iterations", func(r *Report) { r.Benchmarks[0].Iterations = 0 }},
+		{"missing toolchain", func(r *Report) { r.GoVersion = "" }},
+	}
+	for _, c := range cases {
+		r := good
+		r.Benchmarks = append([]BenchResult(nil), good.Benchmarks...)
+		c.mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken report", c.name)
+		}
+	}
+}

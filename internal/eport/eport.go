@@ -126,8 +126,43 @@ type Port struct {
 	pauseFrames     int64
 
 	// Pause-timer expiry events (timer semantics mode).
-	classExpiry []*sim.Event
-	portExpiry  *sim.Event
+	classExpiry []sim.Timer
+	portExpiry  sim.Timer
+
+	// tx is the entry being serialized (valid while transmitting); txDrop
+	// marks it as falling off a down link, to be released at completion.
+	tx     entry
+	txDrop bool
+
+	// Pre-bound event callbacks: scheduling through these never allocates
+	// (see sim.Action).
+	txDoneAct  txDoneAction
+	deliverAct deliverAction
+	expiryAct  expiryAction
+}
+
+// txDoneAction fires when the in-flight packet's last bit leaves the port.
+type txDoneAction struct{ p *Port }
+
+func (a *txDoneAction) Run(any, int64) { a.p.txDone() }
+
+// deliverAction fires when a packet's last bit arrives at the peer.
+type deliverAction struct{ p *Port }
+
+func (a *deliverAction) Run(arg any, _ int64) { a.p.deliver(arg.(*packet.Packet)) }
+
+// expiryAction fires when a received PAUSE's timer expires (n is the class,
+// or -1 for the port level).
+type expiryAction struct{ p *Port }
+
+func (a *expiryAction) Run(_ any, n int64) {
+	if n < 0 {
+		a.p.portExpiry = sim.Timer{}
+		a.p.SetPortPaused(false)
+	} else {
+		a.p.classExpiry[n] = sim.Timer{}
+		a.p.SetClassPaused(packet.Class(n), false)
+	}
 }
 
 // New builds a port. Connect must be called before any packet is sent.
@@ -138,7 +173,7 @@ func New(cfg Config) *Port {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 1600
 	}
-	return &Port{
+	p := &Port{
 		cfg:             cfg,
 		up:              true,
 		queues:          make([]classQueue, cfg.Classes),
@@ -147,9 +182,13 @@ func New(cfg Config) *Port {
 		pausedClass:     make([]bool, cfg.Classes),
 		classPauseStart: make([]units.Time, cfg.Classes),
 		classPausedFor:  make([]units.Time, cfg.Classes),
-		classExpiry:     make([]*sim.Event, cfg.Classes),
+		classExpiry:     make([]sim.Timer, cfg.Classes),
 		portPauseStart:  -1,
 	}
+	p.txDoneAct = txDoneAction{p: p}
+	p.deliverAct = deliverAction{p: p}
+	p.expiryAct = expiryAction{p: p}
+	return p
 }
 
 // Connect attaches the receiving end of the wire.
@@ -215,16 +254,10 @@ func (p *Port) Transmitting() bool { return p.transmitting }
 func (p *Port) SetClassPaused(cls packet.Class, paused bool) {
 	now := p.cfg.Sim.Now()
 	if p.cfg.PauseTimeout > 0 {
-		if p.classExpiry[cls] != nil {
-			p.classExpiry[cls].Cancel()
-			p.classExpiry[cls] = nil
-		}
+		p.classExpiry[cls].Cancel()
+		p.classExpiry[cls] = sim.Timer{}
 		if paused {
-			c := cls
-			p.classExpiry[cls] = p.cfg.Sim.Schedule(p.cfg.PauseTimeout, func() {
-				p.classExpiry[c] = nil
-				p.SetClassPaused(c, false)
-			})
+			p.classExpiry[cls] = p.cfg.Sim.ScheduleAction(p.cfg.PauseTimeout, &p.expiryAct, nil, int64(cls))
 		}
 	}
 	if p.pausedClass[cls] == paused {
@@ -245,15 +278,10 @@ func (p *Port) SetClassPaused(cls packet.Class, paused bool) {
 func (p *Port) SetPortPaused(paused bool) {
 	now := p.cfg.Sim.Now()
 	if p.cfg.PauseTimeout > 0 {
-		if p.portExpiry != nil {
-			p.portExpiry.Cancel()
-			p.portExpiry = nil
-		}
+		p.portExpiry.Cancel()
+		p.portExpiry = sim.Timer{}
 		if paused {
-			p.portExpiry = p.cfg.Sim.Schedule(p.cfg.PauseTimeout, func() {
-				p.portExpiry = nil
-				p.SetPortPaused(false)
-			})
+			p.portExpiry = p.cfg.Sim.ScheduleAction(p.cfg.PauseTimeout, &p.expiryAct, nil, -1)
 		}
 	}
 	if p.pausedPort == paused {
@@ -381,23 +409,42 @@ func (p *Port) transmit(e entry) {
 	}
 	txTime := units.TransmissionTime(pkt.Size, p.cfg.Rate)
 	s := p.cfg.Sim
-	s.Schedule(txTime, func() {
-		p.transmitting = false
-		p.txBytes += pkt.Size
-		if p.cfg.OnDeparture != nil {
-			p.cfg.OnDeparture(pkt, e.cookie)
-		}
-		p.trySend()
-	})
+	p.tx = e
+	p.txDrop = !p.up
+	s.ScheduleAction(txTime, &p.txDoneAct, nil, 0)
 	if p.peer == nil {
 		panic("eport: transmit before Connect")
 	}
 	if p.up {
-		peer := p.peer
-		s.Schedule(txTime+p.cfg.Prop, func() {
-			if p.up {
-				peer.Receive(pkt)
-			}
-		})
+		s.ScheduleAction(txTime+p.cfg.Prop, &p.deliverAct, pkt, 0)
+	}
+}
+
+// txDone completes the in-flight transmission (the transmitter is
+// non-preemptive, so there is exactly one).
+func (p *Port) txDone() {
+	e := p.tx
+	drop := p.txDrop
+	p.tx = entry{}
+	p.transmitting = false
+	p.txBytes += e.pkt.Size
+	if p.cfg.OnDeparture != nil {
+		p.cfg.OnDeparture(e.pkt, e.cookie)
+	}
+	if drop {
+		// The link was down when serialization started: the packet fell off
+		// the wire and has no receiver, so the port is its final owner.
+		e.pkt.Release()
+	}
+	p.trySend()
+}
+
+// deliver hands a packet whose last bit has crossed the wire to the peer,
+// unless the link went down while it was in flight.
+func (p *Port) deliver(pkt *packet.Packet) {
+	if p.up {
+		p.peer.Receive(pkt)
+	} else {
+		pkt.Release()
 	}
 }

@@ -45,6 +45,9 @@ type Config struct {
 	// OnFlowDone fires when the final ACK of a locally-originated flow
 	// arrives.
 	OnFlowDone func(f *transport.Flow)
+	// Pool recycles packet objects; topologies share one pool across all
+	// devices of a run. Nil allocates a private pool.
+	Pool *packet.Pool
 }
 
 type recvState struct {
@@ -60,13 +63,40 @@ type Host struct {
 	flows   []*transport.Flow
 	flowIdx map[int]*transport.Flow
 	rr      int
-	wake    *sim.Event
+	wake    sim.Timer
 
 	recv map[int]*recvState
 
 	rxBytes  units.ByteSize
 	rxData   units.ByteSize
 	sentPkts int64
+
+	pool *packet.Pool
+
+	// Pre-bound event callbacks (allocation-free scheduling).
+	wakeAct wakeAction
+	pfcAct  pfcAction
+}
+
+// wakeAction fires the pacing timer set by scheduleWake.
+type wakeAction struct{ h *Host }
+
+func (a *wakeAction) Run(any, int64) {
+	a.h.wake = sim.Timer{}
+	a.h.pump()
+}
+
+// pfcAction applies a received PFC frame after the processing delay; the
+// frame content travels encoded in n (see packet.FlowControl.Encode).
+type pfcAction struct{ h *Host }
+
+func (a *pfcAction) Run(_ any, n int64) {
+	fc := packet.DecodeFC(n)
+	if fc.PortLevel {
+		a.h.port.SetPortPaused(fc.Pause)
+	} else {
+		a.h.port.SetClassPaused(fc.Class, fc.Pause)
+	}
 }
 
 // New builds a host. Wire it with Port().Connect(peerInput) and hand
@@ -84,11 +114,17 @@ func New(cfg Config) *Host {
 	if cfg.Header < 0 || cfg.Header >= cfg.MTU {
 		panic(fmt.Sprintf("host: header %d outside [0, MTU)", cfg.Header))
 	}
+	if cfg.Pool == nil {
+		cfg.Pool = packet.NewPool()
+	}
 	h := &Host{
 		cfg:     cfg,
 		flowIdx: make(map[int]*transport.Flow),
 		recv:    make(map[int]*recvState),
+		pool:    cfg.Pool,
 	}
+	h.wakeAct = wakeAction{h: h}
+	h.pfcAct = pfcAction{h: h}
 	h.port = eport.New(eport.Config{
 		Sim:          cfg.Sim,
 		Rate:         cfg.Rate,
@@ -176,7 +212,7 @@ func (h *Host) pump() {
 			}
 			continue
 		}
-		pkt := packet.NewData(f.ID, f.Src, f.Dst, f.Class, f.Sent, payload, h.cfg.Header)
+		pkt := h.pool.Data(f.ID, f.Src, f.Dst, f.Class, f.Sent, payload, h.cfg.Header)
 		pkt.ECNCapable = true
 		pkt.SentAt = now
 		pkt.Last = f.Sent+payload == f.Size
@@ -193,16 +229,11 @@ func (h *Host) pump() {
 }
 
 func (h *Host) scheduleWake(at units.Time) {
-	if h.wake != nil && h.wake.At() <= at {
+	if h.wake.Active() && h.wake.At() <= at {
 		return
 	}
-	if h.wake != nil {
-		h.wake.Cancel()
-	}
-	h.wake = h.cfg.Sim.At(at, func() {
-		h.wake = nil
-		h.pump()
-	})
+	h.wake.Cancel()
+	h.wake = h.cfg.Sim.AtAction(at, &h.wakeAct, nil, 0)
 }
 
 // receive is the downlink pipeline.
@@ -223,14 +254,9 @@ func (h *Host) receive(pkt *packet.Packet) {
 }
 
 func (h *Host) handlePFC(pkt *packet.Packet) {
-	fc := pkt.FC
-	h.cfg.Sim.Schedule(core.PFCProcessingDelay(h.cfg.Rate), func() {
-		if fc.PortLevel {
-			h.port.SetPortPaused(fc.Pause)
-		} else {
-			h.port.SetClassPaused(fc.Class, fc.Pause)
-		}
-	})
+	n := pkt.FC.Encode()
+	pkt.Release()
+	h.cfg.Sim.ScheduleAction(core.PFCProcessingDelay(h.cfg.Rate), &h.pfcAct, nil, n)
 }
 
 func (h *Host) handleData(pkt *packet.Packet) {
@@ -241,23 +267,25 @@ func (h *Host) handleData(pkt *packet.Packet) {
 		h.recv[pkt.FlowID] = rs
 	}
 	rs.received += pkt.Payload
-	ack := packet.NewAck(pkt, rs.received, h.cfg.AckClass)
+	ack := h.pool.Ack(pkt, rs.received, h.cfg.AckClass)
 	h.port.Enqueue(ack, 0)
 	if pkt.ECNMarked && h.cfg.CNPInterval > 0 {
 		now := h.cfg.Sim.Now()
 		if rs.lastCNP < 0 || now-rs.lastCNP >= h.cfg.CNPInterval {
 			rs.lastCNP = now
-			h.port.Enqueue(packet.NewCNP(pkt.FlowID, pkt.Dst, pkt.Src, h.cfg.AckClass), 0)
+			h.port.Enqueue(h.pool.CNP(pkt.FlowID, pkt.Dst, pkt.Src, h.cfg.AckClass), 0)
 		}
 	}
 	if pkt.Last {
 		delete(h.recv, pkt.FlowID) // flow fully received; free state
 	}
+	pkt.Release()
 }
 
 func (h *Host) handleAck(pkt *packet.Packet) {
 	f := h.flowIdx[pkt.FlowID]
 	if f == nil {
+		pkt.Release()
 		return // flow already completed (duplicate final ACK cannot happen, but be tolerant)
 	}
 	if pkt.Seq > f.Acked {
@@ -265,7 +293,9 @@ func (h *Host) handleAck(pkt *packet.Packet) {
 	}
 	now := h.cfg.Sim.Now()
 	f.CC.OnAck(now, f, pkt)
-	if pkt.Last && f.Acked >= f.Size {
+	last := pkt.Last
+	pkt.Release()
+	if last && f.Acked >= f.Size {
 		f.FinishedAt = now
 		h.removeFlow(f)
 		if h.cfg.OnFlowDone != nil {
@@ -279,6 +309,7 @@ func (h *Host) handleCNP(pkt *packet.Packet) {
 	if f := h.flowIdx[pkt.FlowID]; f != nil {
 		f.CC.OnCNP(h.cfg.Sim.Now(), f)
 	}
+	pkt.Release()
 }
 
 func (h *Host) removeFlow(f *transport.Flow) {

@@ -44,8 +44,12 @@ func NewDeadlockDetector(net *topology.Network, interval units.Time, confirm int
 
 // Start begins periodic scanning.
 func (d *DeadlockDetector) Start() {
-	d.net.Sim.Schedule(d.interval, d.tick)
+	d.net.Sim.ScheduleAction(d.interval, d, nil, 0)
 }
+
+// Run implements sim.Action: the detector is its own pre-bound tick
+// callback, so each rescheduled scan allocates nothing.
+func (d *DeadlockDetector) Run(any, int64) { d.tick() }
 
 // Onset returns the deadlock onset time, or a negative value if none was
 // detected.
@@ -75,7 +79,7 @@ func (d *DeadlockDetector) tick() {
 	} else {
 		d.streak = 0
 	}
-	d.net.Sim.Schedule(d.interval, d.tick)
+	d.net.Sim.ScheduleAction(d.interval, d, nil, 0)
 }
 
 // node identifies one egress port in the wait-for graph.

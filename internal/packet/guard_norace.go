@@ -1,0 +1,12 @@
+//go:build !race
+
+package packet
+
+// In regular builds the pool neither poisons nor checks released packets;
+// the mutate-after-release detector lives in guard_race.go and is active
+// under `go test -race` (see `make race`).
+
+const poolGuard = false
+
+func poison(*Packet)      {}
+func checkPoison(*Packet) {}

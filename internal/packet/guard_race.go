@@ -1,0 +1,41 @@
+//go:build race
+
+package packet
+
+import "dsh/units"
+
+// Race-detector builds carry a mutate-after-release detector: Release
+// poisons the packet's fields with sentinel values, and the next Get checks
+// they are intact. A stale reference that wrote to the packet between
+// Release and reuse trips the check — the pooling analogue of
+// use-after-free, which the race detector itself cannot see because both
+// accesses happen on the simulation goroutine.
+
+const poolGuard = true
+
+const (
+	poisonByte units.ByteSize = -0x5EEDF00D
+	poisonInt  int            = -0x7EAD
+	poisonTime units.Time     = -0x7EAD
+)
+
+func poison(p *Packet) {
+	p.Type = Type(0xEE)
+	p.Size = poisonByte
+	p.Class = Class(0xEE)
+	p.Src = poisonInt
+	p.Dst = poisonInt
+	p.FlowID = poisonInt
+	p.Seq = poisonByte
+	p.Payload = poisonByte
+	p.SentAt = poisonTime
+	p.INT = p.INT[:0]
+}
+
+func checkPoison(p *Packet) {
+	if p.Type != Type(0xEE) || p.Size != poisonByte || p.Class != Class(0xEE) ||
+		p.Src != poisonInt || p.Dst != poisonInt || p.FlowID != poisonInt ||
+		p.Seq != poisonByte || p.Payload != poisonByte || p.SentAt != poisonTime {
+		panic("packet: packet mutated after Release (stale reference wrote to a pooled packet)")
+	}
+}

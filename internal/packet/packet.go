@@ -68,6 +68,31 @@ type FlowControl struct {
 	Pause bool
 }
 
+// Encode packs the frame content into the low 16 bits of an int64, for
+// allocation-free deferred application through sim.Action's n argument
+// (callers may use the bits above 16 for routing context such as the
+// ingress port).
+func (fc FlowControl) Encode() int64 {
+	n := int64(fc.Class) << 2
+	if fc.PortLevel {
+		n |= 2
+	}
+	if fc.Pause {
+		n |= 1
+	}
+	return n
+}
+
+// DecodeFC unpacks a FlowControl encoded by Encode; bits above 16 are
+// ignored.
+func DecodeFC(n int64) FlowControl {
+	return FlowControl{
+		Class:     Class((n & 0xFFFF) >> 2),
+		PortLevel: n&2 != 0,
+		Pause:     n&1 != 0,
+	}
+}
+
 // INTHop is one hop's in-band telemetry record, stamped by switches at
 // dequeue time and consumed by PowerTCP.
 type INTHop struct {
@@ -120,6 +145,11 @@ type Packet struct {
 
 	// SentAt records when the sender injected the packet (for diagnostics).
 	SentAt units.Time
+
+	// pool is the free list this packet recycles into (nil for packets built
+	// by the package-level constructors); released guards double-Release.
+	pool     *Pool
+	released bool
 }
 
 // NewData builds a data packet. wire size = payload + header overhead.

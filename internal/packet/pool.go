@@ -1,0 +1,135 @@
+package packet
+
+import "dsh/units"
+
+// Pool is a single-goroutine free list of Packets. Every simulation run owns
+// one pool (wired through the topology into hosts and switches); devices take
+// packets from it with the typed constructors below and the device that
+// consumes a packet returns it with Release. See DESIGN.md "Packet ownership
+// and pooling" for the ownership rules.
+//
+// Packets built by the package-level constructors (NewData etc.) are not
+// pooled: their Release is a no-op, which keeps tests and external callers
+// free to ignore pooling entirely.
+type Pool struct {
+	free []*Packet
+
+	gets int64
+	puts int64
+	news int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Stats reports pool traffic: Get calls, Release returns, and how many Gets
+// missed the free list and allocated.
+func (pl *Pool) Stats() (gets, puts, news int64) { return pl.gets, pl.puts, pl.news }
+
+// GuardEnabled reports whether this build carries the mutate-after-release
+// detector (true under -race).
+func GuardEnabled() bool { return poolGuard }
+
+// Get returns a zeroed packet owned by the caller. The packet keeps its
+// recycled INT backing array (length 0), so steady-state telemetry stamping
+// does not allocate either.
+func (pl *Pool) Get() *Packet {
+	pl.gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		checkPoison(p)
+		ints := p.INT[:0]
+		*p = Packet{INT: ints, pool: pl}
+		return p
+	}
+	pl.news++
+	return &Packet{pool: pl}
+}
+
+// put returns a released packet to the free list.
+func (pl *Pool) put(p *Packet) {
+	pl.puts++
+	poison(p)
+	pl.free = append(pl.free, p)
+}
+
+// Release returns the packet to its pool. It must be called exactly once,
+// by the packet's final owner, after the last read of any field: a second
+// Release panics, and (in -race builds) any write through a stale reference
+// is detected on the packet's next reuse. Release on a packet that did not
+// come from a pool is a no-op.
+func (p *Packet) Release() {
+	if p.pool == nil {
+		return
+	}
+	if p.released {
+		panic("packet: double Release")
+	}
+	p.released = true
+	p.pool.put(p)
+}
+
+// Data builds a pooled data packet. Wire size = payload + header overhead.
+func (pl *Pool) Data(flowID, src, dst int, class Class, seq, payload, hdr units.ByteSize) *Packet {
+	p := pl.Get()
+	p.Type = Data
+	p.Size = payload + hdr
+	p.Class = class
+	p.Src = src
+	p.Dst = dst
+	p.FlowID = flowID
+	p.Seq = seq
+	p.Payload = payload
+	return p
+}
+
+// Ack builds the pooled acknowledgement for a received data packet; cum is
+// the receiver's cumulative in-order byte count. Unlike NewAck, the INT
+// telemetry stack is copied, never aliased: the data packet may be released
+// (and recycled) while this ACK is still in flight.
+func (pl *Pool) Ack(data *Packet, cum units.ByteSize, ackClass Class) *Packet {
+	p := pl.Get()
+	p.Type = Ack
+	p.Size = AckSize
+	p.Class = ackClass
+	p.Src = data.Dst
+	p.Dst = data.Src
+	p.FlowID = data.FlowID
+	p.Seq = cum
+	p.Last = data.Last
+	p.ECNMarked = data.ECNMarked
+	p.INT = append(p.INT, data.INT...)
+	return p
+}
+
+// CNP builds a pooled DCQCN congestion notification for the given flow.
+func (pl *Pool) CNP(flowID, src, dst int, class Class) *Packet {
+	p := pl.Get()
+	p.Type = CNP
+	p.Size = CNPSize
+	p.Class = class
+	p.Src = src
+	p.Dst = dst
+	p.FlowID = flowID
+	return p
+}
+
+// PFC builds a pooled queue-level PFC frame.
+func (pl *Pool) PFC(class Class, pause bool) *Packet {
+	p := pl.Get()
+	p.Type = PFC
+	p.Size = PFCFrameSize
+	p.FC = FlowControl{Class: class, Pause: pause}
+	return p
+}
+
+// PortPFC builds a pooled DSH port-level PFC frame.
+func (pl *Pool) PortPFC(pause bool) *Packet {
+	p := pl.Get()
+	p.Type = PFC
+	p.Size = PFCFrameSize
+	p.FC = FlowControl{PortLevel: true, Pause: pause}
+	return p
+}

@@ -1,0 +1,24 @@
+//go:build race
+
+package packet
+
+import "testing"
+
+// TestMutateAfterReleaseDetected exercises the -race-build pool guard: a
+// stale reference writing to a released packet must be caught when the pool
+// next recycles it.
+func TestMutateAfterReleaseDetected(t *testing.T) {
+	if !GuardEnabled() {
+		t.Fatal("pool guard must be enabled under -race")
+	}
+	pl := NewPool()
+	p := pl.Data(1, 0, 1, 0, 0, 1452, 48)
+	p.Release()
+	p.Seq = 42 // stale write after Release
+	defer func() {
+		if recover() == nil {
+			t.Error("mutate-after-release was not detected on reuse")
+		}
+	}()
+	pl.Get()
+}

@@ -1,0 +1,113 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPoolRecyclesPackets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Data(1, 2, 3, 0, 0, 1452, 48)
+	if p.Size != 1500 || p.Type != Data {
+		t.Fatalf("bad data packet: %+v", p)
+	}
+	p.Release()
+	q := pl.CNP(4, 5, 6, 7)
+	if q != p {
+		t.Error("pool did not recycle the released packet")
+	}
+	if q.Type != CNP || q.FlowID != 4 || q.Payload != 0 || q.Seq != 0 {
+		t.Fatalf("recycled packet not reset: %+v", q)
+	}
+	gets, puts, news := pl.Stats()
+	if gets != 2 || puts != 1 || news != 1 {
+		t.Errorf("Stats = (%d, %d, %d), want (2, 1, 1)", gets, puts, news)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.PFC(0, true)
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Release did not panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestReleaseUnpooledIsNoop(t *testing.T) {
+	p := NewData(1, 0, 1, 0, 0, 100, 48)
+	p.Release() // must not panic
+	p.Release() // not even twice
+}
+
+// TestAckDoesNotAliasINT pins the recycling-safety property: a pooled ACK
+// carries its own copy of the data packet's INT stack, so releasing and
+// recycling the data packet cannot corrupt an ACK still in flight.
+func TestAckDoesNotAliasINT(t *testing.T) {
+	pl := NewPool()
+	data := pl.Data(1, 0, 1, 0, 0, 1452, 48)
+	data.INT = append(data.INT, INTHop{QLen: 111, TxBytes: 222, TS: 333, Rate: 444})
+	ack := pl.Ack(data, 1452, 7)
+	if len(ack.INT) != 1 || ack.INT[0].QLen != 111 {
+		t.Fatalf("ACK INT stack not copied: %+v", ack.INT)
+	}
+	data.Release()
+	// Recycle the data packet's node and restamp its INT backing array.
+	next := pl.Data(2, 2, 3, 0, 0, 1452, 48)
+	next.INT = append(next.INT, INTHop{QLen: 999})
+	if ack.INT[0].QLen != 111 {
+		t.Fatalf("ACK INT stack aliased the recycled packet: %+v", ack.INT[0])
+	}
+	ack.Release()
+	next.Release()
+}
+
+// TestPoolSteadyStateIsAllocationFree pins the other half of the tentpole:
+// a warm pool serves Get/Release cycles with zero allocations.
+func TestPoolSteadyStateIsAllocationFree(t *testing.T) {
+	if GuardEnabled() {
+		t.Skip("poison bookkeeping may allocate under -race")
+	}
+	pl := NewPool()
+	pl.Data(1, 0, 1, 0, 0, 1452, 48).Release()
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := pl.Data(1, 0, 1, 0, 0, 1452, 48)
+		a := pl.Ack(p, 1452, 7)
+		p.Release()
+		a.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm pool allocates %v per Get/Release cycle, want 0", allocs)
+	}
+}
+
+func TestPooledConstructorsMatchUnpooled(t *testing.T) {
+	pl := NewPool()
+	cases := []struct {
+		name             string
+		pooled, unpooled *Packet
+	}{
+		{"data", pl.Data(1, 2, 3, 4, 5, 6, 7), NewData(1, 2, 3, 4, 5, 6, 7)},
+		{"cnp", pl.CNP(1, 2, 3, 4), NewCNP(1, 2, 3, 4)},
+		{"pfc", pl.PFC(3, true), NewPFC(3, true)},
+		{"portpfc", pl.PortPFC(false), NewPortPFC(false)},
+	}
+	d := NewData(1, 2, 3, 4, 5, 6, 7)
+	cases = append(cases, struct {
+		name             string
+		pooled, unpooled *Packet
+	}{"ack", pl.Ack(d, 9, 7), NewAck(d, 9, 7)})
+	for _, c := range cases {
+		got, want := *c.pooled, *c.unpooled
+		// Normalize the pooling bookkeeping and INT slice headers before
+		// comparing the wire-visible fields.
+		got.pool, got.released = nil, false
+		got.INT, want.INT = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: pooled %+v != unpooled %+v", c.name, got, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"dsh/units"
+)
+
+// oracleEvent / oracleQueue reimplement the pre-rewrite container/heap event
+// queue, used as the ordering oracle for the typed 4-ary heap.
+type oracleEvent struct {
+	at  units.Time
+	seq uint64
+}
+
+type oracleQueue []oracleEvent
+
+func (q oracleQueue) Len() int { return len(q) }
+func (q oracleQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q oracleQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *oracleQueue) Push(x any)   { *q = append(*q, x.(oracleEvent)) }
+func (q *oracleQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// TestHeapMatchesOracle drives the 4-ary heap and a container/heap oracle
+// with the same randomized push/pop schedule and requires identical pop
+// sequences, including the FIFO tie-break at duplicated timestamps.
+func TestHeapMatchesOracle(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		s := New()
+		var oracle oracleQueue
+		var seq uint64
+		push := func() {
+			// Small time range forces many equal timestamps.
+			at := units.Time(rng.Intn(50))
+			heap.Push(&oracle, oracleEvent{at: at, seq: seq})
+			ev := s.alloc()
+			ev.at, ev.seq, ev.cancelled = at, seq, false
+			s.push(ev)
+			seq++
+		}
+		popBoth := func() {
+			want := heap.Pop(&oracle).(oracleEvent)
+			got := s.pop()
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("trial %d: pop = (at %d, seq %d), oracle (at %d, seq %d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+			s.recycle(got)
+		}
+		for step := 0; step < 2000; step++ {
+			if len(oracle) == 0 || rng.Intn(3) > 0 {
+				push()
+			} else {
+				popBoth()
+			}
+		}
+		for len(oracle) > 0 {
+			popBoth()
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left after oracle drained", trial, s.Pending())
+		}
+	}
+}
+
+// TestHeapIndexInvariant checks that every node's idx matches its slot and
+// that the 4-ary heap property holds after a randomized workload.
+func TestHeapIndexInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	for i := 0; i < 5000; i++ {
+		if s.Pending() == 0 || rng.Intn(4) > 0 {
+			ev := s.alloc()
+			ev.at, ev.seq, ev.cancelled = units.Time(rng.Intn(1000)), uint64(i), false
+			s.push(ev)
+		} else {
+			s.recycle(s.pop())
+		}
+		if i%97 != 0 {
+			continue
+		}
+		for j, ev := range s.heap {
+			if int(ev.idx) != j {
+				t.Fatalf("step %d: heap[%d].idx = %d", i, j, ev.idx)
+			}
+			if j > 0 {
+				p := (j - 1) >> 2
+				if less(ev, s.heap[p]) {
+					t.Fatalf("step %d: heap property violated at %d", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCancelledEventsAreRecycled checks lazy cancellation reaps nodes back
+// to the free list without executing them.
+func TestCancelledEventsAreRecycled(t *testing.T) {
+	s := New()
+	var timers []Timer
+	for i := 0; i < 100; i++ {
+		timers = append(timers, s.Schedule(units.Time(i), func() { t.Fatal("cancelled event ran") }))
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after draining cancelled events", s.Pending())
+	}
+	if s.Processed() != 0 {
+		t.Fatalf("Processed = %d, want 0", s.Processed())
+	}
+	if len(s.free) < 100 {
+		t.Fatalf("free list holds %d nodes, want >= 100", len(s.free))
+	}
+}
+
+// countAction is a persistent Action used by the zero-alloc tests.
+type countAction struct{ n int }
+
+func (a *countAction) Run(any, int64) { a.n++ }
+
+// TestActionScheduling checks the Action form delivers arg and n.
+func TestActionScheduling(t *testing.T) {
+	s := New()
+	var gotArg any
+	var gotN int64
+	rec := recordAction{argp: &gotArg, np: &gotN}
+	payload := &struct{ x int }{42}
+	s.ScheduleAction(5, &rec, payload, 7)
+	s.Run()
+	if gotArg != payload || gotN != 7 {
+		t.Fatalf("action got (%v, %d), want (%v, 7)", gotArg, gotN, payload)
+	}
+}
+
+type recordAction struct {
+	argp *any
+	np   *int64
+}
+
+func (a *recordAction) Run(arg any, n int64) {
+	*a.argp = arg
+	*a.np = n
+}
+
+// TestSteadyStateScheduleIsAllocationFree pins the tentpole property: once
+// the free list and heap are warm, ScheduleAction + dispatch allocates
+// nothing.
+func TestSteadyStateScheduleIsAllocationFree(t *testing.T) {
+	s := New()
+	act := &countAction{}
+	// Warm up: grow heap, free list, and event blocks.
+	for i := 0; i < 10_000; i++ {
+		s.ScheduleAction(units.Time(i%100), act, nil, 0)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ScheduleAction(1, act, nil, 0)
+		s.ScheduleAction(2, act, nil, 0)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+run allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkScheduleActionRun measures the pooled zero-alloc path.
+func BenchmarkScheduleActionRun(b *testing.B) {
+	s := New()
+	act := &countAction{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleAction(units.Time(i%100), act, nil, 0)
+		if s.Pending() > 1024 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -4,61 +4,93 @@
 // Events are callbacks scheduled at absolute simulated times. Events with
 // equal timestamps fire in scheduling order (FIFO tie-break), which makes
 // whole-network runs reproducible bit-for-bit for a fixed seed.
+//
+// The engine is allocation-free on the steady-state path: heap nodes are
+// recycled through a free list, the priority queue is a typed 4-ary min-heap
+// (no container/heap `any` boxing), and the Action form of scheduling lets
+// hot paths pass a pre-bound callback struct instead of a closure. Callers
+// hold generation-checked Timer handles, so a stale handle to a recycled
+// event is inert rather than dangerous.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"dsh/units"
 )
 
-// Event is a handle to a scheduled callback. It can be cancelled before it
-// fires; cancellation is cheap (the entry is dropped lazily when popped).
+// Action is a pre-bound event callback. Scheduling an Action allocates
+// nothing when the Action (and arg) are pointers to persistent structs:
+// putting a pointer into an interface does not heap-allocate, unlike
+// constructing a capturing closure. arg and n are handed back verbatim when
+// the event fires; by convention arg carries a per-event pointer payload
+// (e.g. the packet in flight) and n a small scalar (a class, an encoded
+// PFC word).
+type Action interface {
+	Run(arg any, n int64)
+}
+
+// Event is one pooled heap node. Events are owned by the simulator and are
+// recycled after they fire or their cancellation is reaped, so external
+// code refers to them through Timer handles, never *Event.
 type Event struct {
 	at        units.Time
 	seq       uint64
-	fn        func()
+	gen       uint32
+	idx       int32 // position in the heap; -1 when not queued
 	cancelled bool
+
+	fn  func()
+	act Action
+	arg any
+	n   int64
 }
 
-// At returns the simulated time the event is scheduled to fire at.
-func (e *Event) At() units.Time { return e.at }
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// inert: Cancel is a no-op and Active reports false. Handles stay safe
+// after the event fires, is cancelled, or is recycled for a later event —
+// the generation check turns any stale operation into a no-op.
+type Timer struct {
+	ev  *Event
+	gen uint32
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
-		e.fn = nil
+// Active reports whether the event is still scheduled to fire.
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled
+}
+
+// At returns the simulated time the event fires at, or -1 if the handle is
+// no longer active.
+func (t Timer) At() units.Time {
+	if !t.Active() {
+		return -1
+	}
+	return t.ev.at
+}
+
+// Cancel prevents the event from firing. Cancelling an inactive handle
+// (zero value, already fired, already cancelled, or recycled) is a no-op;
+// the entry itself is dropped lazily when it reaches the top of the heap.
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled {
+		t.ev.cancelled = true
+		t.ev.fn = nil
+		t.ev.act = nil
+		t.ev.arg = nil
 	}
 }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
+// eventBlockSize is how many Events one free-list refill allocates. Block
+// allocation keeps nodes dense in memory and amortizes the cold-start cost.
+const eventBlockSize = 64
 
 // Simulator owns the virtual clock and the pending event set.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now       units.Time
-	queue     eventQueue
+	heap      []*Event
+	free      []*Event
 	seq       uint64
 	stopped   bool
 	processed uint64
@@ -66,7 +98,7 @@ type Simulator struct {
 
 // New returns an empty simulator with the clock at zero.
 func New() *Simulator {
-	return &Simulator{queue: make(eventQueue, 0, 1024)}
+	return &Simulator{heap: make([]*Event, 0, 1024)}
 }
 
 // Now returns the current simulated time.
@@ -77,25 +109,82 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled entries not yet reaped).
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) }
 
-// Schedule runs fn after the given non-negative delay.
-func (s *Simulator) Schedule(delay units.Time, fn func()) *Event {
+// alloc takes a node from the free list, refilling it by a block when dry.
+func (s *Simulator) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	block := make([]Event, eventBlockSize)
+	for i := 1; i < eventBlockSize; i++ {
+		s.free = append(s.free, &block[i])
+	}
+	return &block[0]
+}
+
+// recycle invalidates outstanding Timer handles and returns the node to the
+// free list.
+func (s *Simulator) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.act = nil
+	ev.arg = nil
+	ev.idx = -1
+	s.free = append(s.free, ev)
+}
+
+// enqueue builds a node for time t and pushes it onto the heap.
+func (s *Simulator) enqueue(t units.Time) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, s.now))
+	}
+	ev := s.alloc()
+	ev.at = t
+	ev.seq = s.seq
+	ev.cancelled = false
+	s.seq++
+	s.push(ev)
+	return ev
+}
+
+// Schedule runs fn after the given non-negative delay. The closure form is
+// for cold paths and tests; hot paths should use ScheduleAction, which does
+// not allocate.
+func (s *Simulator) Schedule(delay units.Time, fn func()) Timer {
 	return s.At(s.now+delay, fn)
 }
 
 // At runs fn at the given absolute time, which must not be in the past.
-func (s *Simulator) At(t units.Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, s.now))
-	}
+func (s *Simulator) At(t units.Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	ev := s.enqueue(t)
+	ev.fn = fn
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// ScheduleAction runs act.Run(arg, n) after the given non-negative delay
+// without allocating (for pointer-shaped act and arg).
+func (s *Simulator) ScheduleAction(delay units.Time, act Action, arg any, n int64) Timer {
+	return s.AtAction(s.now+delay, act, arg, n)
+}
+
+// AtAction runs act.Run(arg, n) at the given absolute time, which must not
+// be in the past.
+func (s *Simulator) AtAction(t units.Time, act Action, arg any, n int64) Timer {
+	if act == nil {
+		panic("sim: nil event action")
+	}
+	ev := s.enqueue(t)
+	ev.act = act
+	ev.arg = arg
+	ev.n = n
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Stop makes the current Run/RunUntil call return after the in-progress
@@ -113,22 +202,110 @@ func (s *Simulator) Run() {
 // or Stop is called.
 func (s *Simulator) RunUntil(deadline units.Time) {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		ev := s.queue[0]
+	for len(s.heap) > 0 && !s.stopped {
+		ev := s.heap[0]
+		if ev.cancelled {
+			s.pop()
+			s.recycle(ev)
+			continue
+		}
 		if deadline >= 0 && ev.at > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
-		if ev.cancelled {
-			continue
-		}
+		s.pop()
 		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
+		fn, act, arg, n := ev.fn, ev.act, ev.arg, ev.n
+		s.recycle(ev)
 		s.processed++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			act.Run(arg, n)
+		}
 	}
 	if deadline >= 0 && s.now < deadline && !s.stopped {
 		s.now = deadline
 	}
+}
+
+// The priority queue is a 4-ary min-heap ordered by (at, seq): shallower
+// than a binary heap (fewer cache-missing levels per sift) and wide enough
+// that the four children of a node share a cache line of *Event pointers.
+// Every placement keeps ev.idx in sync so nodes always know their slot.
+
+// less orders events by time, FIFO within a timestamp.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and sifts it up.
+func (s *Simulator) push(ev *Event) {
+	s.heap = append(s.heap, ev)
+	s.siftUp(len(s.heap)-1, ev)
+}
+
+// pop removes and returns the minimum event.
+func (s *Simulator) pop() *Event {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 0 {
+		s.siftDown(0, last)
+	}
+	top.idx = -1
+	return top
+}
+
+// siftUp places ev at index i, moving it toward the root while it beats its
+// parent. It writes each displaced node exactly once.
+func (s *Simulator) siftUp(i int, ev *Event) {
+	h := s.heap
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].idx = int32(i)
+		i = p
+	}
+	h[i] = ev
+	ev.idx = int32(i)
+}
+
+// siftDown places ev at index i, moving it toward the leaves while some
+// child beats it.
+func (s *Simulator) siftDown(i int, ev *Event) {
+	h := s.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		h[i].idx = int32(i)
+		i = m
+	}
+	h[i] = ev
+	ev.idx = int32(i)
 }

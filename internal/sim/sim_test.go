@@ -66,14 +66,20 @@ func TestCancel(t *testing.T) {
 	ran := false
 	ev := s.Schedule(10, func() { ran = true })
 	ev.Cancel()
+	if ev.Active() {
+		t.Error("cancelled timer still Active")
+	}
 	s.Run()
 	if ran {
 		t.Error("cancelled event ran")
 	}
-	// Double-cancel and nil-cancel must not panic.
+	// Double-cancel and zero-value cancel must not panic.
 	ev.Cancel()
-	var nilEv *Event
-	nilEv.Cancel()
+	var zero Timer
+	zero.Cancel()
+	if zero.Active() {
+		t.Error("zero Timer is Active")
+	}
 }
 
 func TestRunUntil(t *testing.T) {
@@ -164,6 +170,35 @@ func TestEventAt(t *testing.T) {
 	ev := s.Schedule(42, func() {})
 	if ev.At() != 42 {
 		t.Errorf("At = %d, want 42", ev.At())
+	}
+	if !ev.Active() {
+		t.Error("pending timer not Active")
+	}
+	s.Run()
+	if ev.Active() {
+		t.Error("fired timer still Active")
+	}
+	if ev.At() != -1 {
+		t.Errorf("At after fire = %d, want -1", ev.At())
+	}
+}
+
+// TestStaleTimerIsInert pins the pooling safety property: a handle to an
+// event whose node has been recycled for a *new* event must not be able to
+// cancel the new event.
+func TestStaleTimerIsInert(t *testing.T) {
+	s := New()
+	stale := s.Schedule(1, func() {})
+	s.Run() // fires; node returns to the free list
+	ran := false
+	fresh := s.Schedule(1, func() { ran = true })
+	stale.Cancel() // recycled node, old generation: must be a no-op
+	if !fresh.Active() {
+		t.Fatal("stale Cancel deactivated the fresh event")
+	}
+	s.Run()
+	if !ran {
+		t.Error("fresh event did not run after stale Cancel")
 	}
 }
 

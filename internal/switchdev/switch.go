@@ -50,6 +50,9 @@ type Config struct {
 	PauseTimeout units.Time
 	// Seed seeds the switch-local RNG (ECN coin flips).
 	Seed int64
+	// Pool recycles packet objects; topologies share one pool across all
+	// devices of a run. Nil allocates a private pool.
+	Pool *packet.Pool
 }
 
 // Switch is one device. All methods run on the simulator goroutine.
@@ -69,6 +72,27 @@ type Switch struct {
 
 	// refreshing tracks armed pause-refresh loops (pause-timer mode).
 	refreshing map[refreshKey]bool
+
+	pool *packet.Pool
+
+	// pfcAct is the pre-bound callback applying received PFC frames
+	// (allocation-free scheduling).
+	pfcAct swPFCAction
+}
+
+// swPFCAction applies a received PFC frame to an ingress port's egress side
+// after the processing delay. n carries the FlowControl in its low 16 bits
+// (packet.FlowControl.Encode) and the ingress port above them.
+type swPFCAction struct{ sw *Switch }
+
+func (a *swPFCAction) Run(_ any, n int64) {
+	p := a.sw.eports[n>>16]
+	fc := packet.DecodeFC(n)
+	if fc.PortLevel {
+		p.SetPortPaused(fc.Pause)
+	} else {
+		p.SetClassPaused(fc.Class, fc.Pause)
+	}
 }
 
 // refreshKey identifies one pause-refresh loop.
@@ -93,6 +117,9 @@ func New(cfg Config, rates []units.BitRate, props []units.Time) *Switch {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 1600
 	}
+	if cfg.Pool == nil {
+		cfg.Pool = packet.NewPool()
+	}
 	sw := &Switch{
 		cfg:        cfg,
 		eports:     make([]*eport.Port, cfg.Ports),
@@ -100,7 +127,9 @@ func New(cfg Config, rates []units.BitRate, props []units.Time) *Switch {
 		charged:    make([][]units.ByteSize, cfg.Ports),
 		rxBytes:    make([]units.ByteSize, cfg.Ports),
 		refreshing: make(map[refreshKey]bool),
+		pool:       cfg.Pool,
 	}
+	sw.pfcAct = swPFCAction{sw: sw}
 	for i := range sw.charged {
 		sw.charged[i] = make([]units.ByteSize, cfg.Ports)
 	}
@@ -189,7 +218,8 @@ func (sw *Switch) receive(inPort int, pkt *packet.Packet) {
 	ok, acts := sw.cfg.MMU.Admit(inPort, pkt.Class, pkt.Size)
 	sw.emit(acts)
 	if !ok {
-		return // dropped; counted by the MMU
+		pkt.Release() // dropped; counted by the MMU
+		return
 	}
 	if sw.cfg.ECN != nil && pkt.Type == packet.Data && pkt.ECNCapable && !pkt.ECNMarked {
 		sw.maybeMark(pkt, out)
@@ -201,15 +231,10 @@ func (sw *Switch) receive(inPort int, pkt *packet.Packet) {
 // handlePFC applies a received PAUSE/RESUME to this port's egress side after
 // the PFC-standard processing delay (3840 B at port rate).
 func (sw *Switch) handlePFC(inPort int, pkt *packet.Packet) {
-	p := sw.eports[inPort]
-	fc := pkt.FC
-	sw.cfg.Sim.Schedule(core.PFCProcessingDelay(p.Rate()), func() {
-		if fc.PortLevel {
-			p.SetPortPaused(fc.Pause)
-		} else {
-			p.SetClassPaused(fc.Class, fc.Pause)
-		}
-	})
+	rate := sw.eports[inPort].Rate()
+	n := pkt.FC.Encode() | int64(inPort)<<16
+	pkt.Release()
+	sw.cfg.Sim.ScheduleAction(core.PFCProcessingDelay(rate), &sw.pfcAct, nil, n)
 }
 
 // onDeparture un-charges the packet from the MMU when its last bit leaves.
@@ -249,9 +274,9 @@ func (sw *Switch) emit(acts []core.Action) {
 	for _, a := range acts {
 		var frame *packet.Packet
 		if a.PortLevel {
-			frame = packet.NewPortPFC(a.Pause)
+			frame = sw.pool.PortPFC(a.Pause)
 		} else {
-			frame = packet.NewPFC(a.Class, a.Pause)
+			frame = sw.pool.PFC(a.Class, a.Pause)
 		}
 		sw.eports[a.Port].EnqueueControl(frame)
 		if sw.cfg.PauseTimeout > 0 && a.Pause {
@@ -283,9 +308,9 @@ func (sw *Switch) armRefresh(a core.Action) {
 		}
 		var frame *packet.Packet
 		if k.portLevel {
-			frame = packet.NewPortPFC(true)
+			frame = sw.pool.PortPFC(true)
 		} else {
-			frame = packet.NewPFC(k.class, true)
+			frame = sw.pool.PFC(k.class, true)
 		}
 		sw.eports[k.port].EnqueueControl(frame)
 		sw.cfg.Sim.Schedule(period, tick)

@@ -133,6 +133,9 @@ type Network struct {
 	Switches []*switchdev.Switch
 	Links    []routing.Link
 
+	// Pool is the run-wide packet free list shared by every device.
+	Pool *packet.Pool
+
 	// UserData is an opaque slot for embedding layers (the public dshsim
 	// facade stores its run state here).
 	UserData any
@@ -238,7 +241,12 @@ func (n *Network) Drops() int64 {
 
 // newNetwork prepares an empty network.
 func newNetwork(cfg Config) *Network {
-	return &Network{Sim: cfg.Sim, Cfg: cfg, peers: make(map[endpoint]endpoint)}
+	return &Network{
+		Sim:   cfg.Sim,
+		Cfg:   cfg,
+		Pool:  packet.NewPool(),
+		peers: make(map[endpoint]endpoint),
+	}
 }
 
 // newHost appends a host with the given uplink rate; its ID is its index.
@@ -257,6 +265,7 @@ func (n *Network) newHost(rate units.BitRate) *host.Host {
 		CNPInterval:  n.Cfg.CNPInterval,
 		PauseTimeout: n.Cfg.PauseTimeout,
 		OnFlowDone:   n.Cfg.OnFlowDone,
+		Pool:         n.Pool,
 	})
 	n.Hosts = append(n.Hosts, h)
 	return h
@@ -341,6 +350,7 @@ func (n *Network) newSwitch(name string, rates []units.BitRate) *switchdev.Switc
 		INT:          cfg.INT,
 		PauseTimeout: cfg.PauseTimeout,
 		Seed:         cfg.Seed + int64(len(n.Switches))*7919,
+		Pool:         n.Pool,
 	}, rates, props)
 	n.Switches = append(n.Switches, sw)
 	return sw

@@ -75,11 +75,28 @@ type Controller struct {
 	byteEvents  int
 	bytesSent   units.ByteSize
 
-	alphaEv    *sim.Event
-	increaseEv *sim.Event
+	alphaEv    sim.Timer
+	increaseEv sim.Timer
 	active     bool // in recovery (timers running)
 
 	cnps int64
+}
+
+// Timer discriminators for the controller's sim.Action events.
+const (
+	alphaTimer    = 0
+	increaseTimer = 1
+)
+
+// Run implements sim.Action, dispatching the controller's two timers; the
+// controller itself is the pre-bound callback, so re-arming a timer never
+// allocates.
+func (c *Controller) Run(_ any, n int64) {
+	if n == alphaTimer {
+		c.alphaTick()
+	} else {
+		c.timerTick()
+	}
 }
 
 var _ transport.CongestionControl = (*Controller)(nil)
@@ -158,51 +175,41 @@ func (c *Controller) OnCNP(units.Time, *transport.Flow) {
 
 func (c *Controller) startTimers() {
 	c.active = true
-	if c.alphaEv == nil {
-		c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
-	} else {
-		// Restart the α recovery window from this CNP.
-		c.alphaEv.Cancel()
-		c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
-	}
-	if c.increaseEv != nil {
-		c.increaseEv.Cancel()
-	}
-	c.increaseEv = c.sim.Schedule(c.p.IncreaseTimer, c.timerTick)
+	// Restart the α recovery window from this CNP.
+	c.alphaEv.Cancel()
+	c.alphaEv = c.sim.ScheduleAction(c.p.AlphaTimer, c, nil, alphaTimer)
+	c.increaseEv.Cancel()
+	c.increaseEv = c.sim.ScheduleAction(c.p.IncreaseTimer, c, nil, increaseTimer)
 }
 
 func (c *Controller) stopTimers() {
 	c.active = false
-	if c.alphaEv != nil {
-		c.alphaEv.Cancel()
-		c.alphaEv = nil
-	}
-	if c.increaseEv != nil {
-		c.increaseEv.Cancel()
-		c.increaseEv = nil
-	}
+	c.alphaEv.Cancel()
+	c.alphaEv = sim.Timer{}
+	c.increaseEv.Cancel()
+	c.increaseEv = sim.Timer{}
 }
 
 func (c *Controller) alphaTick() {
 	c.alpha *= 1 - c.p.G
 	if c.active || c.alpha > 1e-3 {
-		c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
+		c.alphaEv = c.sim.ScheduleAction(c.p.AlphaTimer, c, nil, alphaTimer)
 	} else {
-		c.alphaEv = nil
+		c.alphaEv = sim.Timer{}
 	}
 }
 
 func (c *Controller) timerTick() {
 	if !c.active {
-		c.increaseEv = nil
+		c.increaseEv = sim.Timer{}
 		return
 	}
 	c.timerEvents++
 	c.rateIncrease()
 	if c.active {
-		c.increaseEv = c.sim.Schedule(c.p.IncreaseTimer, c.timerTick)
+		c.increaseEv = c.sim.ScheduleAction(c.p.IncreaseTimer, c, nil, increaseTimer)
 	} else {
-		c.increaseEv = nil
+		c.increaseEv = sim.Timer{}
 	}
 }
 
@@ -232,7 +239,7 @@ func (c *Controller) rateIncrease() {
 		// on its own timer while it remains significant.
 		c.stopTimers()
 		if c.alpha > 1e-3 {
-			c.alphaEv = c.sim.Schedule(c.p.AlphaTimer, c.alphaTick)
+			c.alphaEv = c.sim.ScheduleAction(c.p.AlphaTimer, c, nil, alphaTimer)
 		}
 	}
 }

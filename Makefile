@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify lint bench bench-sweep bench-smoke bench-json
+.PHONY: build test race verify lint bench bench-sweep bench-smoke bench-json profile
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,16 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -short -benchmem ./...
 
 # Stable numbers for the perf trajectory: runs the kernel suite in
-# dshsim/benchkit and writes the schema-stable JSON report.
+# dshsim/benchkit and writes the schema-stable JSON report. Writing also
+# validates against the checked-in allocs/op budgets, so this target fails
+# on an allocation regression.
 bench-json:
-	$(GO) run ./cmd/dshbench -bench-json BENCH_PR2.json
+	$(GO) run ./cmd/dshbench -bench-json BENCH_PR3.json
+
+# CPU + heap profiles of a representative sweep; see README "Profiling a
+# sweep". Override PROFILE_EXP to profile a different experiment.
+PROFILE_EXP ?= fig11
+profile:
+	$(GO) run ./cmd/dshbench -quiet -workers 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof $(PROFILE_EXP)
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof -top cpu.pprof"

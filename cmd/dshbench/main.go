@@ -17,6 +17,8 @@
 //	           are identical for any value — see README "Running sweeps in
 //	           parallel")
 //	-quiet     suppress progress lines
+//	-cpuprofile F  write a pprof CPU profile of the run to F
+//	-memprofile F  write a pprof heap profile (taken at exit) to F
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -38,8 +41,36 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all cores)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	benchJSON := flag.String("bench-json", "", "run the perf kernel suite and write the JSON report to this path ('-' for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (at exit) to this path")
 	flag.Usage = usage
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
@@ -126,7 +157,8 @@ func runBenchJSON(path string) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `dshbench regenerates the DSH paper's evaluation figures.
 
-usage: dshbench [-full] [-seed N] [-workers N] [-quiet] <experiment>
+usage: dshbench [-full] [-seed N] [-workers N] [-quiet]
+                [-cpuprofile F] [-memprofile F] <experiment>
        dshbench -bench-json <path>   run the perf kernels, write a JSON report
 
 experiments:

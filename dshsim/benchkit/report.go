@@ -19,6 +19,23 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// AllocBudget is the checked-in allocation ceiling for this kernel
+	// (allocBudgets); Validate fails the report when AllocsPerOp exceeds
+	// it, which is the CI allocation-regression guard.
+	AllocBudget *float64 `json:"alloc_budget,omitempty"`
+}
+
+// allocBudgets are the checked-in allocs/op ceilings enforced by Validate.
+// The steady-state kernels must stay allocation-free; the macro kernels'
+// ceilings sit at 10% of their PR 2 measurements — comfortably above the
+// PR 3 numbers (154 and 2569, see BENCH_PR3.json) so noise does not flake
+// CI, while a real regression (a map, closure, or per-flow allocation
+// creeping back onto the hot path) still fails.
+var allocBudgets = map[string]float64{
+	"EventEngine": 0,
+	"Forwarding":  0,
+	"Incast":      199,  // PR 2 baseline 1989; ≥10× cut enforced
+	"Fig11":       6471, // PR 2 baseline 64712; ≥10× cut enforced
 }
 
 // Report is the schema-stable document emitted by `make bench-json` /
@@ -60,13 +77,17 @@ func collect(kernels []kernel) Report {
 	}
 	for _, k := range kernels {
 		r := testing.Benchmark(k.fn)
-		rep.Benchmarks = append(rep.Benchmarks, BenchResult{
+		br := BenchResult{
 			Name:        k.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: float64(r.AllocsPerOp()),
 			BytesPerOp:  float64(r.AllocedBytesPerOp()),
-		})
+		}
+		if budget, ok := allocBudgets[k.name]; ok {
+			br.AllocBudget = &budget
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
 	}
 	return rep
 }
@@ -95,6 +116,10 @@ func (r Report) Validate() error {
 		}
 		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 {
 			return fmt.Errorf("benchmark %s: negative alloc stats", b.Name)
+		}
+		if b.AllocBudget != nil && b.AllocsPerOp > *b.AllocBudget {
+			return fmt.Errorf("benchmark %s: %v allocs/op exceeds the checked-in budget of %v — a map, closure, or per-flow allocation crept back onto the hot path",
+				b.Name, b.AllocsPerOp, *b.AllocBudget)
 		}
 	}
 	return nil

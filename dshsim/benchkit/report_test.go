@@ -65,6 +65,11 @@ func TestValidateRejectsBrokenReports(t *testing.T) {
 		{"unnamed benchmark", func(r *Report) { r.Benchmarks[0].Name = "" }},
 		{"zero iterations", func(r *Report) { r.Benchmarks[0].Iterations = 0 }},
 		{"missing toolchain", func(r *Report) { r.GoVersion = "" }},
+		{"over alloc budget", func(r *Report) {
+			budget := 10.0
+			r.Benchmarks[0].AllocBudget = &budget
+			r.Benchmarks[0].AllocsPerOp = 11
+		}},
 	}
 	for _, c := range cases {
 		r := good
@@ -73,5 +78,25 @@ func TestValidateRejectsBrokenReports(t *testing.T) {
 		if err := r.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted a broken report", c.name)
 		}
+	}
+}
+
+// Every kernel of the default suite must carry a checked-in alloc budget:
+// the CI bench-json step calls WriteJSON → Validate, so an unguarded kernel
+// would make allocation regressions invisible.
+func TestDefaultKernelsHaveAllocBudgets(t *testing.T) {
+	for _, k := range defaultKernels() {
+		if _, ok := allocBudgets[k.name]; !ok {
+			t.Errorf("kernel %s has no checked-in alloc budget", k.name)
+		}
+	}
+}
+
+func TestValidateAcceptsAtBudget(t *testing.T) {
+	r := collect([]kernel{{"Fast", fastKernel}})
+	budget := r.Benchmarks[0].AllocsPerOp
+	r.Benchmarks[0].AllocBudget = &budget
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate rejected an at-budget report: %v", err)
 	}
 }

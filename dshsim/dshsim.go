@@ -221,7 +221,8 @@ type RunConfig struct {
 	// DrainCap bounds the drain phase.
 	DrainCap units.Time
 	// OnFlowDone is an optional per-completion hook (metrics are always
-	// collected regardless).
+	// collected regardless). The *Flow is recycled when the hook returns
+	// and must not be retained.
 	OnFlowDone func(f *Flow)
 }
 
@@ -258,25 +259,43 @@ func Run(net *Network, rc RunConfig) *Result {
 	}
 	st.ran = true
 
-	factory := newFactory(net, st.nc.Transport, st.nc.baseRTT())
-
 	res := &Result{FCT: metrics.NewFCTCollector()}
-	started := 0
+
+	// Intern every workload tag up front and preallocate the record slices
+	// from the schedule's per-tag flow counts, so completions never grow a
+	// map or reallocate.
+	tagIDs := make([]int32, len(rc.Specs))
+	tagCounts := make(map[int32]int)
+	for i, sp := range rc.Specs {
+		tagIDs[i] = res.FCT.Intern(sp.Tag)
+		tagCounts[tagIDs[i]]++
+	}
+	for i, sp := range rc.Specs {
+		if n := tagCounts[tagIDs[i]]; n > 0 {
+			res.FCT.Reserve(sp.Tag, n)
+			tagCounts[tagIDs[i]] = 0
+		}
+	}
+
+	// Flows are materialized lazily at their start time from a pool and
+	// recycled after the completion callback, so steady-state flow churn
+	// allocates only up to the peak number of concurrently live flows.
+	starter := &flowStarter{
+		net:     net,
+		specs:   rc.Specs,
+		tagIDs:  tagIDs,
+		factory: newFactory(net, st.nc.Transport, st.nc.baseRTT()),
+	}
+	started := len(rc.Specs)
 	st.done = func(f *transport.Flow) {
 		res.FCT.Record(f)
 		if rc.OnFlowDone != nil {
 			rc.OnFlowDone(f)
 		}
+		starter.pool.Put(f) // f is invalid from here on
 	}
-	for _, sp := range rc.Specs {
-		f := &transport.Flow{
-			ID: sp.ID, Src: sp.Src, Dst: sp.Dst,
-			Class: sp.Class, Size: sp.Size, Start: sp.Start, Tag: sp.Tag,
-			FinishedAt: -1,
-		}
-		f.CC = factory(f)
-		net.AddFlow(f)
-		started++
+	for i, sp := range rc.Specs {
+		net.Sim.AtAction(sp.Start, starter, nil, int64(i))
 	}
 	net.Sim.RunUntil(rc.Duration)
 	if rc.Drain {
@@ -304,6 +323,30 @@ func Run(net *Network, rc RunConfig) *Result {
 	res.Unfinished = started - res.FCT.Count("")
 	res.Events = net.Sim.Processed()
 	return res
+}
+
+// flowStarter materializes one flow spec at its start time: an event's n
+// argument indexes the spec, the flow object comes from the pool, and the
+// destination host's receive slot is registered before the source starts
+// pumping. One pre-bound action serves every flow of the run.
+type flowStarter struct {
+	net     *Network
+	specs   []workload.FlowSpec
+	tagIDs  []int32
+	factory transport.Factory
+	pool    transport.FlowPool
+}
+
+// Run implements sim.Action.
+func (fs *flowStarter) Run(_ any, n int64) {
+	sp := fs.specs[n]
+	f := fs.pool.Get()
+	f.ID, f.Src, f.Dst = sp.ID, sp.Src, sp.Dst
+	f.Class, f.Size, f.Start, f.Tag = sp.Class, sp.Size, sp.Start, sp.Tag
+	f.TagID = fs.tagIDs[n]
+	f.FinishedAt = -1
+	f.CC = fs.factory(f)
+	fs.net.StartFlow(f)
 }
 
 // newFactory builds the per-flow controller factory for a transport kind.

@@ -23,6 +23,21 @@ type Receiver interface {
 	Receive(pkt *packet.Packet)
 }
 
+// Hooks bundles the dataplane callbacks behind one interface value, with
+// Config.HookID passed back on every call. A device with many ports (the
+// switch, the host NIC) implements Hooks once and shares itself across all
+// its ports, where the per-callback func fields would cost one closure
+// allocation per callback per port. When Hooks is nil the func fields are
+// used instead (tests, single-port rigs).
+type Hooks interface {
+	// PortDeparture corresponds to Config.OnDeparture.
+	PortDeparture(id int, pkt *packet.Packet, cookie int64)
+	// PortDequeue corresponds to Config.OnDequeue.
+	PortDequeue(id int, pkt *packet.Packet, qlen, tx units.ByteSize)
+	// PortIdle corresponds to Config.OnIdle.
+	PortIdle(id int)
+}
+
 // Config parameterises a port.
 type Config struct {
 	Sim  *sim.Simulator
@@ -45,6 +60,10 @@ type Config struct {
 	// OnIdle fires when the transmitter finds nothing eligible to send.
 	// Hosts use it to inject the next flow packet.
 	OnIdle func()
+	// Hooks, when non-nil, replaces the three callback funcs above with
+	// interface calls that receive HookID back (see Hooks).
+	Hooks  Hooks
+	HookID int
 	// PauseTimeout, when positive, models the 802.1Qbb pause-timer
 	// semantics instead of pure ON/OFF: a received PAUSE expires after
 	// this duration unless refreshed by another PAUSE frame. The standard
@@ -74,6 +93,17 @@ type classQueue struct {
 func (q *classQueue) len() int { return len(q.items) - q.head }
 
 func (q *classQueue) push(e entry) {
+	if len(q.items) == cap(q.items) {
+		// Grow ×4 from a 16-entry floor: warming a deep queue costs a few
+		// slab allocations instead of one per doubling from size 1.
+		ncap := 4 * cap(q.items)
+		if ncap < 16 {
+			ncap = 16
+		}
+		items := make([]entry, len(q.items), ncap)
+		copy(items, q.items)
+		q.items = items
+	}
 	q.items = append(q.items, e)
 	q.bytes += e.pkt.Size
 }
@@ -99,6 +129,20 @@ func (q *classQueue) pop() entry {
 	return e
 }
 
+// classState is everything the port tracks per data class, consolidated in
+// one struct so a port costs one allocation (or zero, via clsBuf) instead
+// of one slice per field.
+type classState struct {
+	q       classQueue
+	deficit units.ByteSize
+	granted bool
+
+	paused     bool
+	pauseStart units.Time
+	pausedFor  units.Time
+	expiry     sim.Timer
+}
+
 // Port is one egress port. It is single-goroutine (event-loop) code: no
 // locking, deterministic behaviour.
 type Port struct {
@@ -106,28 +150,22 @@ type Port struct {
 	peer Receiver
 	up   bool
 
-	ctrl    classQueue
-	queues  []classQueue
-	deficit []units.ByteSize
-	granted []bool
-	rr      int
+	ctrl classQueue
+	cls  []classState
+	rr   int
 
-	pausedClass []bool
-	pausedPort  bool
+	pausedPort bool
 
 	transmitting bool
 	txBytes      units.ByteSize
 
-	// Pause-time accounting (for Fig. 11-style metrics).
-	classPauseStart []units.Time
-	classPausedFor  []units.Time
-	portPauseStart  units.Time
-	portPausedFor   units.Time
-	pauseFrames     int64
+	// Port-level pause-time accounting (for Fig. 11-style metrics).
+	portPauseStart units.Time
+	portPausedFor  units.Time
+	pauseFrames    int64
 
-	// Pause-timer expiry events (timer semantics mode).
-	classExpiry []sim.Timer
-	portExpiry  sim.Timer
+	// Port-level pause-timer expiry event (timer semantics mode).
+	portExpiry sim.Timer
 
 	// tx is the entry being serialized (valid while transmitting); txDrop
 	// marks it as falling off a down link, to be released at completion.
@@ -139,6 +177,10 @@ type Port struct {
 	txDoneAct  txDoneAction
 	deliverAct deliverAction
 	expiryAct  expiryAction
+
+	// clsBuf backs cls for the standard class counts, so building a port
+	// allocates nothing beyond the Port itself.
+	clsBuf [packet.NumClasses]classState
 }
 
 // txDoneAction fires when the in-flight packet's last bit leaves the port.
@@ -160,35 +202,39 @@ func (a *expiryAction) Run(_ any, n int64) {
 		a.p.portExpiry = sim.Timer{}
 		a.p.SetPortPaused(false)
 	} else {
-		a.p.classExpiry[n] = sim.Timer{}
+		a.p.cls[n].expiry = sim.Timer{}
 		a.p.SetClassPaused(packet.Class(n), false)
 	}
 }
 
 // New builds a port. Connect must be called before any packet is sent.
 func New(cfg Config) *Port {
+	p := &Port{}
+	NewInto(p, cfg)
+	return p
+}
+
+// NewInto initialises a zero Port in place; device builders with many
+// ports use it to slab- or field-allocate them instead of paying one heap
+// object per port.
+func NewInto(p *Port, cfg Config) {
 	if cfg.Sim == nil || cfg.Rate <= 0 || cfg.Classes <= 0 {
 		panic(fmt.Sprintf("eport: invalid config %+v", cfg))
 	}
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 1600
 	}
-	p := &Port{
-		cfg:             cfg,
-		up:              true,
-		queues:          make([]classQueue, cfg.Classes),
-		deficit:         make([]units.ByteSize, cfg.Classes),
-		granted:         make([]bool, cfg.Classes),
-		pausedClass:     make([]bool, cfg.Classes),
-		classPauseStart: make([]units.Time, cfg.Classes),
-		classPausedFor:  make([]units.Time, cfg.Classes),
-		classExpiry:     make([]sim.Timer, cfg.Classes),
-		portPauseStart:  -1,
+	p.cfg = cfg
+	p.up = true
+	p.portPauseStart = -1
+	if cfg.Classes <= len(p.clsBuf) {
+		p.cls = p.clsBuf[:cfg.Classes]
+	} else {
+		p.cls = make([]classState, cfg.Classes)
 	}
 	p.txDoneAct = txDoneAction{p: p}
 	p.deliverAct = deliverAction{p: p}
 	p.expiryAct = expiryAction{p: p}
-	return p
 }
 
 // Connect attaches the receiving end of the wire.
@@ -217,7 +263,7 @@ func (p *Port) Enqueue(pkt *packet.Packet, cookie int64) {
 	if cls >= p.cfg.Classes {
 		panic(fmt.Sprintf("eport: class %d out of range", cls))
 	}
-	p.queues[cls].push(entry{pkt: pkt, cookie: cookie})
+	p.cls[cls].q.push(entry{pkt: pkt, cookie: cookie})
 	p.trySend()
 }
 
@@ -229,16 +275,16 @@ func (p *Port) EnqueueControl(pkt *packet.Packet) {
 }
 
 // ClassBacklog returns the queued bytes of a class.
-func (p *Port) ClassBacklog(cls packet.Class) units.ByteSize { return p.queues[cls].bytes }
+func (p *Port) ClassBacklog(cls packet.Class) units.ByteSize { return p.cls[cls].q.bytes }
 
 // ClassPackets returns the queued packet count of a class.
-func (p *Port) ClassPackets(cls packet.Class) int { return p.queues[cls].len() }
+func (p *Port) ClassPackets(cls packet.Class) int { return p.cls[cls].q.len() }
 
 // Backlog returns the total queued bytes across data classes.
 func (p *Port) Backlog() units.ByteSize {
 	var total units.ByteSize
-	for i := range p.queues {
-		total += p.queues[i].bytes
+	for i := range p.cls {
+		total += p.cls[i].q.bytes
 	}
 	return total
 }
@@ -253,22 +299,23 @@ func (p *Port) Transmitting() bool { return p.transmitting }
 // In pause-timer mode a PAUSE re-arms the expiry timer (refresh).
 func (p *Port) SetClassPaused(cls packet.Class, paused bool) {
 	now := p.cfg.Sim.Now()
+	c := &p.cls[cls]
 	if p.cfg.PauseTimeout > 0 {
-		p.classExpiry[cls].Cancel()
-		p.classExpiry[cls] = sim.Timer{}
+		c.expiry.Cancel()
+		c.expiry = sim.Timer{}
 		if paused {
-			p.classExpiry[cls] = p.cfg.Sim.ScheduleAction(p.cfg.PauseTimeout, &p.expiryAct, nil, int64(cls))
+			c.expiry = p.cfg.Sim.ScheduleAction(p.cfg.PauseTimeout, &p.expiryAct, nil, int64(cls))
 		}
 	}
-	if p.pausedClass[cls] == paused {
+	if c.paused == paused {
 		return
 	}
-	p.pausedClass[cls] = paused
+	c.paused = paused
 	if paused {
 		p.pauseFrames++
-		p.classPauseStart[cls] = now
+		c.pauseStart = now
 	} else {
-		p.classPausedFor[cls] += now - p.classPauseStart[cls]
+		c.pausedFor += now - c.pauseStart
 		p.trySend()
 	}
 }
@@ -299,7 +346,7 @@ func (p *Port) SetPortPaused(paused bool) {
 }
 
 // ClassPaused reports whether a class is paused (by either level).
-func (p *Port) ClassPaused(cls packet.Class) bool { return p.pausedClass[cls] || p.pausedPort }
+func (p *Port) ClassPaused(cls packet.Class) bool { return p.cls[cls].paused || p.pausedPort }
 
 // PortPaused reports whether the whole port is paused.
 func (p *Port) PortPaused() bool { return p.pausedPort }
@@ -307,9 +354,10 @@ func (p *Port) PortPaused() bool { return p.pausedPort }
 // ClassPausedTime returns the cumulative paused duration of a class
 // (queue-level only), including an in-progress pause.
 func (p *Port) ClassPausedTime(cls packet.Class) units.Time {
-	d := p.classPausedFor[cls]
-	if p.pausedClass[cls] {
-		d += p.cfg.Sim.Now() - p.classPauseStart[cls]
+	c := &p.cls[cls]
+	d := c.pausedFor
+	if c.paused {
+		d += p.cfg.Sim.Now() - c.pauseStart
 	}
 	return d
 }
@@ -329,13 +377,13 @@ func (p *Port) PauseFrames() int64 { return p.pauseFrames }
 // advance moves the DWRR pointer to the next class, ending the current
 // class's visit (its next visit grants a fresh quantum).
 func (p *Port) advance() {
-	p.granted[p.rr] = false
+	p.cls[p.rr].granted = false
 	p.rr = (p.rr + 1) % p.cfg.Classes
 }
 
 // eligible reports whether a data class may transmit now.
 func (p *Port) eligible(cls int) bool {
-	return !p.pausedPort && !p.pausedClass[cls] && p.queues[cls].len() > 0
+	return !p.pausedPort && !p.cls[cls].paused && p.cls[cls].q.len() > 0
 }
 
 // pick selects the next packet: control, then strict class, then DWRR.
@@ -344,7 +392,7 @@ func (p *Port) pick() (entry, bool) {
 		return p.ctrl.pop(), true
 	}
 	if s := p.cfg.StrictClass; s >= 0 && p.eligible(s) {
-		return p.queues[s].pop(), true
+		return p.cls[s].q.pop(), true
 	}
 	// Deficit round robin: each arrival of the round-robin pointer at a
 	// backlogged class grants one quantum; the class is served while its
@@ -354,25 +402,25 @@ func (p *Port) pick() (entry, bool) {
 	for sweep := 0; sweep < 4096; sweep++ {
 		any := false
 		for i := 0; i < n; i++ {
-			c := p.rr
-			if c == p.cfg.StrictClass || !p.eligible(c) {
-				if p.queues[c].len() == 0 {
-					p.deficit[c] = 0
+			c := &p.cls[p.rr]
+			if p.rr == p.cfg.StrictClass || !p.eligible(p.rr) {
+				if c.q.len() == 0 {
+					c.deficit = 0
 				}
 				p.advance()
 				continue
 			}
 			any = true
-			if !p.granted[c] {
-				p.deficit[c] += p.cfg.Quantum
-				p.granted[c] = true
+			if !c.granted {
+				c.deficit += p.cfg.Quantum
+				c.granted = true
 			}
-			head := p.queues[c].peek()
-			if p.deficit[c] >= head.pkt.Size {
-				e := p.queues[c].pop()
-				p.deficit[c] -= e.pkt.Size
-				if p.queues[c].len() == 0 {
-					p.deficit[c] = 0
+			head := c.q.peek()
+			if c.deficit >= head.pkt.Size {
+				e := c.q.pop()
+				c.deficit -= e.pkt.Size
+				if c.q.len() == 0 {
+					c.deficit = 0
 					p.advance()
 				}
 				return e, true
@@ -393,7 +441,9 @@ func (p *Port) trySend() {
 	}
 	e, ok := p.pick()
 	if !ok {
-		if p.cfg.OnIdle != nil {
+		if p.cfg.Hooks != nil {
+			p.cfg.Hooks.PortIdle(p.cfg.HookID)
+		} else if p.cfg.OnIdle != nil {
 			p.cfg.OnIdle()
 		}
 		return
@@ -404,8 +454,12 @@ func (p *Port) trySend() {
 func (p *Port) transmit(e entry) {
 	p.transmitting = true
 	pkt := e.pkt
-	if p.cfg.OnDequeue != nil && pkt.Type != packet.PFC {
-		p.cfg.OnDequeue(pkt, p.queues[pkt.Class].bytes, p.txBytes)
+	if pkt.Type != packet.PFC {
+		if p.cfg.Hooks != nil {
+			p.cfg.Hooks.PortDequeue(p.cfg.HookID, pkt, p.cls[pkt.Class].q.bytes, p.txBytes)
+		} else if p.cfg.OnDequeue != nil {
+			p.cfg.OnDequeue(pkt, p.cls[pkt.Class].q.bytes, p.txBytes)
+		}
 	}
 	txTime := units.TransmissionTime(pkt.Size, p.cfg.Rate)
 	s := p.cfg.Sim
@@ -428,7 +482,9 @@ func (p *Port) txDone() {
 	p.tx = entry{}
 	p.transmitting = false
 	p.txBytes += e.pkt.Size
-	if p.cfg.OnDeparture != nil {
+	if p.cfg.Hooks != nil {
+		p.cfg.Hooks.PortDeparture(p.cfg.HookID, e.pkt, e.cookie)
+	} else if p.cfg.OnDeparture != nil {
 		p.cfg.OnDeparture(e.pkt, e.cookie)
 	}
 	if drop {

@@ -50,22 +50,58 @@ type Config struct {
 	Pool *packet.Pool
 }
 
+// Flow state is slot-indexed: AddFlow/RegisterRecv hand out dense slots
+// whose handles travel inside packets (packet.SrcSlot/DstSlot), so the
+// per-packet lookups in handleData/handleAck/handleCNP are array loads.
+// A handle packs (slot index << 32 | generation); generations start at 1
+// and are bumped when a slot is recycled, so a zero handle never resolves
+// and a stale handle is detected instead of aliasing the next flow — the
+// same scheme as sim.Timer.
+func slotHandle(slot int, gen uint32) int64 { return int64(slot)<<32 | int64(gen) }
+
+func slotOf(handle int64) (slot int, gen uint32) {
+	return int(uint64(handle) >> 32), uint32(uint64(handle))
+}
+
+// sendSlot is one sender-side slot.
+type sendSlot struct {
+	flow *transport.Flow
+	gen  uint32
+}
+
+// recvSlot is one receiver-side slot (held by value; no allocation per
+// flow).
+type recvSlot struct {
+	received units.ByteSize
+	lastCNP  units.Time
+	gen      uint32
+}
+
+// recvState is the map-fallback receiver state for slot-less data packets.
 type recvState struct {
 	received units.ByteSize
 	lastCNP  units.Time
 }
 
-// Host is one endpoint.
+// Host is one endpoint. The uplink port is embedded by value, so a host is
+// one heap object, port included.
 type Host struct {
 	cfg  Config
-	port *eport.Port
+	port eport.Port
 
-	flows   []*transport.Flow
-	flowIdx map[int]*transport.Flow
-	rr      int
-	wake    sim.Timer
+	flows []*transport.Flow
+	rr    int
+	wake  sim.Timer
 
-	recv map[int]*recvState
+	// Sender-side flow slots, addressed by packet.SrcSlot handles.
+	slots    []sendSlot
+	slotFree []int32
+
+	// Receiver-side flow slots, addressed by packet.DstSlot handles, plus
+	// the lazily-built fallback for packets that carry no slot.
+	recvSlots    []recvSlot
+	recvFree     []int32
+	recvOverflow map[int]*recvState
 
 	rxBytes  units.ByteSize
 	rxData   units.ByteSize
@@ -76,6 +112,18 @@ type Host struct {
 	// Pre-bound event callbacks (allocation-free scheduling).
 	wakeAct wakeAction
 	pfcAct  pfcAction
+
+	// in backs Input(); handing out its address avoids boxing a fresh
+	// receiver per call.
+	in input
+
+	// Inline backing buffers: a host with few concurrent flows (the common
+	// case) builds all its flow state without a single heap allocation.
+	flowsBuf    [8]*transport.Flow
+	slotsBuf    [8]sendSlot
+	slotFreeBuf [8]int32
+	recvBuf     [16]recvSlot
+	recvFreeBuf [16]int32
 }
 
 // wakeAction fires the pacing timer set by scheduleWake.
@@ -118,33 +166,52 @@ func New(cfg Config) *Host {
 		cfg.Pool = packet.NewPool()
 	}
 	h := &Host{
-		cfg:     cfg,
-		flowIdx: make(map[int]*transport.Flow),
-		recv:    make(map[int]*recvState),
-		pool:    cfg.Pool,
+		cfg:  cfg,
+		pool: cfg.Pool,
 	}
 	h.wakeAct = wakeAction{h: h}
 	h.pfcAct = pfcAction{h: h}
-	h.port = eport.New(eport.Config{
+	h.in = input{h: h}
+	h.flows = h.flowsBuf[:0]
+	h.slots = h.slotsBuf[:0]
+	h.slotFree = h.slotFreeBuf[:0]
+	h.recvSlots = h.recvBuf[:0]
+	h.recvFree = h.recvFreeBuf[:0]
+	eport.NewInto(&h.port, eport.Config{
 		Sim:          cfg.Sim,
 		Rate:         cfg.Rate,
 		Prop:         cfg.Prop,
 		Classes:      cfg.Classes,
 		StrictClass:  int(cfg.AckClass),
-		OnIdle:       h.pump,
+		Hooks:        h,
 		PauseTimeout: cfg.PauseTimeout,
 	})
 	return h
 }
 
+// PortIdle implements eport.Hooks: an idle uplink pulls the next packet.
+func (h *Host) PortIdle(int) { h.pump() }
+
+// PortDeparture implements eport.Hooks; hosts do no departure accounting.
+func (h *Host) PortDeparture(int, *packet.Packet, int64) {}
+
+// PortDequeue implements eport.Hooks; hosts do no dequeue accounting.
+func (h *Host) PortDequeue(int, *packet.Packet, units.ByteSize, units.ByteSize) {}
+
 // ID returns the host ID.
 func (h *Host) ID() int { return h.cfg.ID }
 
-// Name returns the host name.
-func (h *Host) Name() string { return h.cfg.Name }
+// Name returns the host name; unnamed hosts format as "h<ID>" on demand,
+// so builders need not pay for a name the run never prints.
+func (h *Host) Name() string {
+	if h.cfg.Name == "" {
+		return fmt.Sprintf("h%d", h.cfg.ID)
+	}
+	return h.cfg.Name
+}
 
 // Port returns the uplink egress port for wiring and metrics.
-func (h *Host) Port() *eport.Port { return h.port }
+func (h *Host) Port() *eport.Port { return &h.port }
 
 // RxBytes returns total received wire bytes.
 func (h *Host) RxBytes() units.ByteSize { return h.rxBytes }
@@ -164,14 +231,16 @@ type input struct{ h *Host }
 // Receive implements eport.Receiver.
 func (in input) Receive(pkt *packet.Packet) { in.h.receive(pkt) }
 
-// Input returns the receiver the downlink peer delivers into.
-func (h *Host) Input() eport.Receiver { return input{h: h} }
+// Input returns the receiver the downlink peer delivers into; the value is
+// embedded in the Host, so the interface conversion does not allocate.
+func (h *Host) Input() eport.Receiver { return &h.in }
 
 // MaxPayload returns the payload capacity of one MTU packet.
 func (h *Host) MaxPayload() units.ByteSize { return h.cfg.MTU - h.cfg.Header }
 
-// AddFlow registers a flow originating at this host and starts pumping.
-// The flow must have CC set; Start should be the current time.
+// AddFlow registers a flow originating at this host, assigns its sender
+// slot (f.SrcSlot), and starts pumping. The flow must have CC set; Start
+// should be the current time.
 func (h *Host) AddFlow(f *transport.Flow) {
 	if f.CC == nil {
 		panic("host: flow without congestion controller")
@@ -180,9 +249,62 @@ func (h *Host) AddFlow(f *transport.Flow) {
 		panic(fmt.Sprintf("host %d: flow %d has Src %d", h.cfg.ID, f.ID, f.Src))
 	}
 	f.FinishedAt = -1
+	var slot int
+	if n := len(h.slotFree); n > 0 {
+		slot = int(h.slotFree[n-1])
+		h.slotFree = h.slotFree[:n-1]
+	} else {
+		h.slots = append(h.slots, sendSlot{gen: 1})
+		slot = len(h.slots) - 1
+	}
+	h.slots[slot].flow = f
+	f.SrcSlot = slotHandle(slot, h.slots[slot].gen)
 	h.flows = append(h.flows, f)
-	h.flowIdx[f.ID] = f
 	h.pump()
+}
+
+// RegisterRecv allocates receive-side state for a flow destined to this
+// host and stamps f.DstSlot. The slot is recycled when the flow's final
+// data packet arrives. Flows started without registration (or hand-built
+// packets) carry a zero DstSlot and use the map fallback instead.
+func (h *Host) RegisterRecv(f *transport.Flow) {
+	if f.Dst != h.cfg.ID {
+		panic(fmt.Sprintf("host %d: flow %d has Dst %d", h.cfg.ID, f.ID, f.Dst))
+	}
+	var slot int
+	if n := len(h.recvFree); n > 0 {
+		slot = int(h.recvFree[n-1])
+		h.recvFree = h.recvFree[:n-1]
+	} else {
+		h.recvSlots = append(h.recvSlots, recvSlot{gen: 1})
+		slot = len(h.recvSlots) - 1
+	}
+	e := &h.recvSlots[slot]
+	e.received = 0
+	e.lastCNP = -1
+	f.DstSlot = slotHandle(slot, e.gen)
+}
+
+// flowBySlot resolves a sender-slot handle; zero or stale handles return
+// nil (the flow completed and its slot was recycled).
+func (h *Host) flowBySlot(handle int64) *transport.Flow {
+	slot, gen := slotOf(handle)
+	if gen == 0 || slot < 0 || slot >= len(h.slots) {
+		return nil
+	}
+	if e := &h.slots[slot]; e.gen == gen {
+		return e.flow
+	}
+	return nil
+}
+
+// freeGen bumps a recycled slot's generation, skipping the reserved 0.
+func freeGen(gen uint32) uint32 {
+	gen++
+	if gen == 0 {
+		gen = 1
+	}
+	return gen
 }
 
 // pump tries to inject the next data packet. It is invoked whenever
@@ -213,6 +335,8 @@ func (h *Host) pump() {
 			continue
 		}
 		pkt := h.pool.Data(f.ID, f.Src, f.Dst, f.Class, f.Sent, payload, h.cfg.Header)
+		pkt.SrcSlot = f.SrcSlot
+		pkt.DstSlot = f.DstSlot
 		pkt.ECNCapable = true
 		pkt.SentAt = now
 		pkt.Last = f.Sent+payload == f.Size
@@ -261,32 +385,59 @@ func (h *Host) handlePFC(pkt *packet.Packet) {
 
 func (h *Host) handleData(pkt *packet.Packet) {
 	h.rxData += pkt.Payload
-	rs := h.recv[pkt.FlowID]
-	if rs == nil {
-		rs = &recvState{lastCNP: -1}
-		h.recv[pkt.FlowID] = rs
-	}
-	rs.received += pkt.Payload
-	ack := h.pool.Ack(pkt, rs.received, h.cfg.AckClass)
-	h.port.Enqueue(ack, 0)
-	if pkt.ECNMarked && h.cfg.CNPInterval > 0 {
-		now := h.cfg.Sim.Now()
-		if rs.lastCNP < 0 || now-rs.lastCNP >= h.cfg.CNPInterval {
-			rs.lastCNP = now
-			h.port.Enqueue(h.pool.CNP(pkt.FlowID, pkt.Dst, pkt.Src, h.cfg.AckClass), 0)
+	if pkt.DstSlot != 0 {
+		slot, gen := slotOf(pkt.DstSlot)
+		if slot < 0 || slot >= len(h.recvSlots) || h.recvSlots[slot].gen != gen {
+			// No retransmissions exist, so data addressed to a recycled
+			// slot is a protocol violation, not a late duplicate.
+			panic(fmt.Sprintf("host %d: stale receive slot on %v", h.cfg.ID, pkt))
 		}
-	}
-	if pkt.Last {
-		delete(h.recv, pkt.FlowID) // flow fully received; free state
+		e := &h.recvSlots[slot]
+		e.received += pkt.Payload
+		h.emitAck(pkt, e.received, &e.lastCNP)
+		if pkt.Last { // flow fully received; recycle the slot
+			e.gen = freeGen(e.gen)
+			h.recvFree = append(h.recvFree, int32(slot))
+		}
+	} else {
+		rs := h.recvOverflow[pkt.FlowID]
+		if rs == nil {
+			if h.recvOverflow == nil {
+				h.recvOverflow = make(map[int]*recvState)
+			}
+			rs = &recvState{lastCNP: -1}
+			h.recvOverflow[pkt.FlowID] = rs
+		}
+		rs.received += pkt.Payload
+		h.emitAck(pkt, rs.received, &rs.lastCNP)
+		if pkt.Last {
+			delete(h.recvOverflow, pkt.FlowID)
+		}
 	}
 	pkt.Release()
 }
 
+// emitAck enqueues the cumulative ACK for a data packet and, when the
+// packet carries a CE mark, a rate-limited CNP.
+func (h *Host) emitAck(pkt *packet.Packet, cum units.ByteSize, lastCNP *units.Time) {
+	ack := h.pool.Ack(pkt, cum, h.cfg.AckClass)
+	h.port.Enqueue(ack, 0)
+	if pkt.ECNMarked && h.cfg.CNPInterval > 0 {
+		now := h.cfg.Sim.Now()
+		if *lastCNP < 0 || now-*lastCNP >= h.cfg.CNPInterval {
+			*lastCNP = now
+			cnp := h.pool.CNP(pkt.FlowID, pkt.Dst, pkt.Src, h.cfg.AckClass)
+			cnp.SrcSlot = pkt.SrcSlot
+			h.port.Enqueue(cnp, 0)
+		}
+	}
+}
+
 func (h *Host) handleAck(pkt *packet.Packet) {
-	f := h.flowIdx[pkt.FlowID]
+	f := h.flowBySlot(pkt.SrcSlot)
 	if f == nil {
 		pkt.Release()
-		return // flow already completed (duplicate final ACK cannot happen, but be tolerant)
+		return // flow already completed (stale slot) or slot-less test ACK
 	}
 	if pkt.Seq > f.Acked {
 		f.Acked = pkt.Seq
@@ -306,14 +457,22 @@ func (h *Host) handleAck(pkt *packet.Packet) {
 }
 
 func (h *Host) handleCNP(pkt *packet.Packet) {
-	if f := h.flowIdx[pkt.FlowID]; f != nil {
+	// A CNP can legitimately trail the final ACK (it rides the same class
+	// behind it), so a stale slot is silently ignored.
+	if f := h.flowBySlot(pkt.SrcSlot); f != nil {
 		f.CC.OnCNP(h.cfg.Sim.Now(), f)
 	}
 	pkt.Release()
 }
 
 func (h *Host) removeFlow(f *transport.Flow) {
-	delete(h.flowIdx, f.ID)
+	if slot, gen := slotOf(f.SrcSlot); gen != 0 && slot < len(h.slots) && h.slots[slot].gen == gen {
+		e := &h.slots[slot]
+		e.flow = nil
+		e.gen = freeGen(e.gen)
+		h.slotFree = append(h.slotFree, int32(slot))
+	}
+	f.SrcSlot = 0
 	for i, g := range h.flows {
 		if g == f {
 			last := len(h.flows) - 1

@@ -386,6 +386,52 @@ func TestAckForUnknownFlowIgnored(t *testing.T) {
 	s.Run() // must not panic
 }
 
+func TestStaleRecvSlotPanics(t *testing.T) {
+	h, _, _ := newHost(t, nil)
+	fa := &transport.Flow{ID: 1, Src: 1, Dst: 0, Size: 100}
+	h.RegisterRecv(fa)
+	d := packet.NewData(1, 1, 0, 0, 0, 100, 48)
+	d.Last = true
+	d.DstSlot = fa.DstSlot
+	h.Input().Receive(d) // final packet: the receive slot is recycled
+	defer func() {
+		if recover() == nil {
+			t.Error("data on a recycled receive slot must panic, not alias new state")
+		}
+	}()
+	stale := packet.NewData(1, 1, 0, 0, 100, 100, 48)
+	stale.DstSlot = fa.DstSlot
+	h.Input().Receive(stale)
+}
+
+func TestStaleSendSlotDoesNotAliasRecycledFlow(t *testing.T) {
+	h, w, s := newHost(t, nil)
+	f1 := flow(1, 100)
+	h.AddFlow(f1)
+	s.RunUntil(10 * units.Microsecond)
+	d1 := w.dataPackets()[0]
+	staleSlot := d1.SrcSlot
+	h.Input().Receive(packet.NewAck(d1, 100, 7)) // completes f1, frees its slot
+	s.RunUntil(20 * units.Microsecond)
+	f2 := flow(2, 2000)
+	h.AddFlow(f2)
+	// The slot index must be reused with a new generation.
+	s1, g1 := slotOf(staleSlot)
+	s2, g2 := slotOf(f2.SrcSlot)
+	if s1 != s2 {
+		t.Fatalf("slot not recycled: %d then %d", s1, s2)
+	}
+	if g1 == g2 {
+		t.Fatal("recycled slot kept its generation")
+	}
+	// An ACK carrying the stale handle must not credit the new flow.
+	h.Input().Receive(&packet.Packet{Type: packet.Ack, FlowID: 1, Seq: 100, Last: true, SrcSlot: staleSlot})
+	s.RunUntil(30 * units.Microsecond)
+	if f2.Acked != 0 {
+		t.Errorf("stale ACK credited recycled flow: Acked = %d", f2.Acked)
+	}
+}
+
 func TestHostAccessors(t *testing.T) {
 	h, _, _ := newHost(t, nil)
 	if h.ID() != 0 || h.Name() != "h0" {

@@ -21,15 +21,45 @@ type FCTRecord struct {
 	Tag  string
 }
 
-// FCTCollector accumulates completions, grouped by tag.
+// FCTCollector accumulates completions, grouped by tag. Tags are interned
+// to small integer IDs: the per-completion Record is an indexed append with
+// no map lookup when the flow carries its TagID (see transport.Flow.TagID),
+// and record slices can be preallocated from workload flow counts.
 type FCTCollector struct {
-	byTag map[string][]FCTRecord
+	ids   map[string]int32 // tag -> index into tags/recs, from 0
+	tags  []string
+	recs  [][]FCTRecord
 	total int
 }
 
 // NewFCTCollector returns an empty collector.
 func NewFCTCollector() *FCTCollector {
-	return &FCTCollector{byTag: make(map[string][]FCTRecord)}
+	return &FCTCollector{ids: make(map[string]int32)}
+}
+
+// Intern maps a tag to its stable integer ID (allocating one on first use).
+// IDs returned are ≥1 so that a zero transport.Flow.TagID always means
+// "uninterned". Experiment setup interns every workload tag once and stamps
+// flows with the result.
+func (c *FCTCollector) Intern(tag string) int32 {
+	if id, ok := c.ids[tag]; ok {
+		return id + 1
+	}
+	id := int32(len(c.tags))
+	c.ids[tag] = id
+	c.tags = append(c.tags, tag)
+	c.recs = append(c.recs, nil)
+	return id + 1
+}
+
+// Reserve preallocates capacity for n completions of a tag.
+func (c *FCTCollector) Reserve(tag string, n int) {
+	id := c.Intern(tag) - 1
+	if cap(c.recs[id])-len(c.recs[id]) < n {
+		grown := make([]FCTRecord, len(c.recs[id]), len(c.recs[id])+n)
+		copy(grown, c.recs[id])
+		c.recs[id] = grown
+	}
 }
 
 // Record ingests a finished flow; it panics on unfinished flows, which
@@ -38,7 +68,12 @@ func (c *FCTCollector) Record(f *transport.Flow) {
 	if !f.Done() {
 		panic(fmt.Sprintf("metrics: recording unfinished flow %d", f.ID))
 	}
-	c.byTag[f.Tag] = append(c.byTag[f.Tag], FCTRecord{ID: f.ID, Size: f.Size, FCT: f.FCT(), Tag: f.Tag})
+	id := f.TagID
+	if id == 0 {
+		id = c.Intern(f.Tag)
+	}
+	i := id - 1
+	c.recs[i] = append(c.recs[i], FCTRecord{ID: f.ID, Size: f.Size, FCT: f.FCT(), Tag: c.tags[i]})
 	c.total++
 }
 
@@ -47,14 +82,19 @@ func (c *FCTCollector) Count(tag string) int {
 	if tag == "" {
 		return c.total
 	}
-	return len(c.byTag[tag])
+	if id, ok := c.ids[tag]; ok {
+		return len(c.recs[id])
+	}
+	return 0
 }
 
-// Tags returns the seen tags, sorted.
+// Tags returns the tags with at least one completion, sorted.
 func (c *FCTCollector) Tags() []string {
-	tags := make([]string, 0, len(c.byTag))
-	for t := range c.byTag {
-		tags = append(tags, t)
+	tags := make([]string, 0, len(c.tags))
+	for i, t := range c.tags {
+		if len(c.recs[i]) > 0 {
+			tags = append(tags, t)
+		}
 	}
 	sort.Strings(tags)
 	return tags
@@ -62,7 +102,7 @@ func (c *FCTCollector) Tags() []string {
 
 // Avg returns the mean FCT for a tag (0 when empty).
 func (c *FCTCollector) Avg(tag string) units.Time {
-	recs := c.byTag[tag]
+	recs := c.Records(tag)
 	if len(recs) == 0 {
 		return 0
 	}
@@ -75,7 +115,7 @@ func (c *FCTCollector) Avg(tag string) units.Time {
 
 // Percentile returns the p-quantile (0<p≤1) FCT for a tag.
 func (c *FCTCollector) Percentile(tag string, p float64) units.Time {
-	recs := c.byTag[tag]
+	recs := c.Records(tag)
 	if len(recs) == 0 {
 		return 0
 	}
@@ -88,7 +128,12 @@ func (c *FCTCollector) Percentile(tag string, p float64) units.Time {
 }
 
 // Records returns the raw records for a tag.
-func (c *FCTCollector) Records(tag string) []FCTRecord { return c.byTag[tag] }
+func (c *FCTCollector) Records(tag string) []FCTRecord {
+	if id, ok := c.ids[tag]; ok {
+		return c.recs[id]
+	}
+	return nil
+}
 
 // quantileSorted picks the nearest-rank quantile from sorted values.
 func quantileSorted(v []units.Time, p float64) units.Time {

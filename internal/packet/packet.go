@@ -131,6 +131,14 @@ type Packet struct {
 	// Last marks the final Data packet of a flow and its Ack echo.
 	Last bool
 
+	// SrcSlot and DstSlot are generation-checked flow-slot handles into the
+	// source and destination hosts' dense flow tables (see internal/host).
+	// Data packets carry both; ACKs and CNPs echo SrcSlot so the sender
+	// resolves its flow without a map lookup. Zero means "no slot": the
+	// receiving host falls back to flow-ID keyed maps, which keeps
+	// hand-built packets (tests, external drivers) working.
+	SrcSlot, DstSlot int64
+
 	// ECN state: Capable is set for traffic under an ECN-reacting transport;
 	// Marked is set by switches (CE) and echoed on Acks.
 	ECNCapable bool
@@ -179,6 +187,7 @@ func NewAck(data *Packet, cum units.ByteSize, ackClass Class) *Packet {
 		Seq:       cum,
 		Last:      data.Last,
 		ECNMarked: data.ECNMarked,
+		SrcSlot:   data.SrcSlot,
 	}
 	if len(data.INT) > 0 {
 		ack.INT = data.INT

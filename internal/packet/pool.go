@@ -30,6 +30,11 @@ func (pl *Pool) Stats() (gets, puts, news int64) { return pl.gets, pl.puts, pl.n
 // detector (true under -race).
 func GuardEnabled() bool { return poolGuard }
 
+// slabSize is how many Packets one free-list refill allocates. Warming an
+// empty pool costs one allocation per slab, not one per packet, so even a
+// run's first burst stays cheap; all slab packets live until the pool dies.
+const slabSize = 256
+
 // Get returns a zeroed packet owned by the caller. The packet keeps its
 // recycled INT backing array (length 0), so steady-state telemetry stamping
 // does not allocate either.
@@ -45,7 +50,23 @@ func (pl *Pool) Get() *Packet {
 		return p
 	}
 	pl.news++
-	return &Packet{pool: pl}
+	slab := make([]Packet, slabSize)
+	// The free list must eventually hold every packet ever allocated, so
+	// grow it by exactly one slab's worth here; put() then never reallocates.
+	if cap(pl.free) < len(pl.free)+slabSize {
+		free := make([]*Packet, len(pl.free), len(pl.free)+slabSize)
+		copy(free, pl.free)
+		pl.free = free
+	}
+	for i := 1; i < slabSize; i++ {
+		p := &slab[i]
+		p.pool = pl
+		p.released = true
+		poison(p)
+		pl.free = append(pl.free, p)
+	}
+	slab[0].pool = pl
+	return &slab[0]
 }
 
 // put returns a released packet to the free list.
@@ -100,6 +121,7 @@ func (pl *Pool) Ack(data *Packet, cum units.ByteSize, ackClass Class) *Packet {
 	p.Seq = cum
 	p.Last = data.Last
 	p.ECNMarked = data.ECNMarked
+	p.SrcSlot = data.SrcSlot
 	p.INT = append(p.INT, data.INT...)
 	return p
 }

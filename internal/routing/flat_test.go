@@ -1,0 +1,142 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsh/internal/packet"
+)
+
+// randomFatTree wires a small random leaf-spine fabric and knocks out a
+// random subset of inter-switch links (both directions), mirroring the
+// failure patterns the experiments use.
+func randomFatTree(rng *rand.Rand) (int, []Link, []int) {
+	leaves := 2 + rng.Intn(4)  // 2..5
+	spines := 1 + rng.Intn(3)  // 1..3
+	perLeaf := 1 + rng.Intn(3) // hosts per leaf
+	numHosts := leaves * perLeaf
+	numNodes := numHosts + leaves + spines
+	leafNode := func(l int) int { return numHosts + l }
+	spineNode := func(s int) int { return numHosts + leaves + s }
+
+	var links []Link
+	duplex := func(a, ap, b, bp int, up bool) {
+		links = append(links,
+			Link{From: a, FromPort: ap, To: b, Up: up},
+			Link{From: b, FromPort: bp, To: a, Up: up})
+	}
+	hosts := make([]int, numHosts)
+	for h := 0; h < numHosts; h++ {
+		hosts[h] = h
+		l := h / perLeaf
+		duplex(h, 0, leafNode(l), h%perLeaf, true)
+	}
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			up := rng.Intn(10) != 0 // ~10% of uplinks failed
+			duplex(leafNode(l), perLeaf+s, spineNode(s), l, up)
+		}
+	}
+	return numNodes, links, hosts
+}
+
+// TestFlatMatchesOracle is the core property test: over randomized
+// topologies with link failures, the dense FlatTable must agree with the
+// map-based oracle on the port set for every (node, dst) and on the routed
+// port for every (node, dst, flowID).
+func TestFlatMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		numNodes, links, hosts := randomFatTree(rng)
+		oracle := ComputeECMP(numNodes, links, hosts)
+		flat := ComputeFlat(numNodes, links, hosts)
+		for n := 0; n < numNodes; n++ {
+			nt := flat.Node(n)
+			for _, dst := range hosts {
+				want := oracle[n].NextHops(dst)
+				got := flat.NextHops(n, dst)
+				if len(want) != len(got) {
+					t.Fatalf("trial %d node %d dst %d: flat ports %v, oracle %v", trial, n, dst, got, want)
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("trial %d node %d dst %d: flat ports %v, oracle %v", trial, n, dst, got, want)
+					}
+				}
+				if len(want) == 0 || n == dst {
+					continue
+				}
+				for flow := 0; flow < 32; flow++ {
+					pkt := &packet.Packet{Dst: dst, FlowID: flow*7 + trial}
+					if op, fp := oracle[n].Route(pkt, 0), nt.Route(pkt, 0); op != fp {
+						t.Fatalf("trial %d node %d dst %d flow %d: flat port %d, oracle %d",
+							trial, n, dst, pkt.FlowID, fp, op)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Hosts that are not the dense prefix 0..H-1 exercise the dstIdx remap.
+func TestFlatSparseHostIDs(t *testing.T) {
+	// Chain h(5) - s(0) - s(1) - h(3): hosts deliberately out of prefix
+	// order so the flat table must build its remap column index.
+	links := []Link{
+		{From: 5, FromPort: 0, To: 0, Up: true},
+		{From: 0, FromPort: 0, To: 5, Up: true},
+		{From: 0, FromPort: 1, To: 1, Up: true},
+		{From: 1, FromPort: 0, To: 0, Up: true},
+		{From: 1, FromPort: 1, To: 3, Up: true},
+		{From: 3, FromPort: 0, To: 1, Up: true},
+	}
+	hosts := []int{5, 3}
+	oracle := ComputeECMP(6, links, hosts)
+	flat := ComputeFlat(6, links, hosts)
+	for n := 0; n < 6; n++ {
+		for _, dst := range hosts {
+			want := oracle[n].NextHops(dst)
+			got := flat.NextHops(n, dst)
+			if len(want) != len(got) {
+				t.Fatalf("node %d dst %d: flat %v oracle %v", n, dst, got, want)
+			}
+		}
+	}
+	if got := flat.NextHops(0, 3); len(got) != 1 || got[0] != 1 {
+		t.Errorf("s0->h3 = %v, want [1]", got)
+	}
+	// A non-host destination must route nowhere.
+	if got := flat.NextHops(0, 4); got != nil {
+		t.Errorf("non-host dst has hops %v", got)
+	}
+}
+
+func TestFlatRouteUnreachablePanics(t *testing.T) {
+	n, links, hosts := lineTopo()
+	for i := range links {
+		if (links[i].From == 2 && links[i].To == 3) || (links[i].From == 3 && links[i].To == 2) {
+			links[i].Up = false
+		}
+	}
+	flat := ComputeFlat(n, links, hosts)
+	defer func() {
+		if recover() == nil {
+			t.Error("flat Route to unreachable dst should panic")
+		}
+	}()
+	flat.Node(2).Route(&packet.Packet{Dst: 1, FlowID: 5}, 0)
+}
+
+// The hot-path Route must not allocate.
+func TestFlatRouteNoAllocs(t *testing.T) {
+	n, links, hosts := diamondTopo()
+	flat := ComputeFlat(n, links, hosts)
+	nt := flat.Node(2)
+	pkt := &packet.Packet{Dst: 1, FlowID: 7}
+	allocs := testing.AllocsPerRun(1000, func() {
+		nt.Route(pkt, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("FlatTable Route allocs/op = %v, want 0", allocs)
+	}
+}

@@ -83,7 +83,7 @@ func (t Timer) Cancel() {
 
 // eventBlockSize is how many Events one free-list refill allocates. Block
 // allocation keeps nodes dense in memory and amortizes the cold-start cost.
-const eventBlockSize = 64
+const eventBlockSize = 2048
 
 // Simulator owns the virtual clock and the pending event set.
 // The zero value is not usable; call New.

@@ -59,25 +59,29 @@ type Config struct {
 type Switch struct {
 	cfg    Config
 	eports []*eport.Port
+	inputs []input
 	route  Route
 	rng    *rand.Rand
 
-	// charged[in][out] tracks buffered bytes by (ingress, egress) port
-	// pair, used by the deadlock detector's wait-for graph.
-	charged [][]units.ByteSize
+	// charged tracks buffered bytes by (ingress, egress) port pair (row-
+	// major, stride Ports), used by the deadlock detector's wait-for graph.
+	charged []units.ByteSize
 
 	// rxBytes counts received routed bytes per ingress port.
 	rxBytes []units.ByteSize
 	marks   int64
 
-	// refreshing tracks armed pause-refresh loops (pause-timer mode).
-	refreshing map[refreshKey]bool
+	// refreshing tracks armed pause-refresh loops (pause-timer mode) as one
+	// bitmask per ingress port: bit c = class c's loop armed, bit 63 = the
+	// port-level loop.
+	refreshing []uint64
 
 	pool *packet.Pool
 
-	// pfcAct is the pre-bound callback applying received PFC frames
-	// (allocation-free scheduling).
-	pfcAct swPFCAction
+	// pfcAct and refreshAct are the pre-bound callbacks applying received
+	// PFC frames and regenerating PAUSE frames (allocation-free scheduling).
+	pfcAct     swPFCAction
+	refreshAct refreshAction
 }
 
 // swPFCAction applies a received PFC frame to an ingress port's egress side
@@ -95,11 +99,24 @@ func (a *swPFCAction) Run(_ any, n int64) {
 	}
 }
 
-// refreshKey identifies one pause-refresh loop.
-type refreshKey struct {
-	port      int
-	class     packet.Class
-	portLevel bool
+// Pause-refresh loop keys pack into an int64 for the refresh action's n
+// argument (portLevel in bit 0, class in the next cookieClassBits, port
+// above) and into a per-port bitmask bit for the armed set.
+func refreshKey(port int, cls packet.Class, portLevel bool) int64 {
+	n := int64(port)<<(cookieClassBits+1) | int64(cls)<<1
+	if portLevel {
+		n |= 1
+	}
+	return n
+}
+
+const refreshPortBit = 63
+
+func refreshBit(cls packet.Class, portLevel bool) uint64 {
+	if portLevel {
+		return 1 << refreshPortBit
+	}
+	return 1 << cls
 }
 
 // New builds a switch. Ports are created immediately; wire them with
@@ -120,22 +137,23 @@ func New(cfg Config, rates []units.BitRate, props []units.Time) *Switch {
 	if cfg.Pool == nil {
 		cfg.Pool = packet.NewPool()
 	}
+	ports := make([]eport.Port, cfg.Ports)
 	sw := &Switch{
 		cfg:        cfg,
 		eports:     make([]*eport.Port, cfg.Ports),
+		inputs:     make([]input, cfg.Ports),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
-		charged:    make([][]units.ByteSize, cfg.Ports),
+		charged:    make([]units.ByteSize, cfg.Ports*cfg.Ports),
 		rxBytes:    make([]units.ByteSize, cfg.Ports),
-		refreshing: make(map[refreshKey]bool),
+		refreshing: make([]uint64, cfg.Ports),
 		pool:       cfg.Pool,
 	}
 	sw.pfcAct = swPFCAction{sw: sw}
-	for i := range sw.charged {
-		sw.charged[i] = make([]units.ByteSize, cfg.Ports)
-	}
+	sw.refreshAct = refreshAction{sw: sw}
 	for i := 0; i < cfg.Ports; i++ {
-		out := i
-		sw.eports[i] = eport.New(eport.Config{
+		sw.inputs[i] = input{sw: sw, port: i}
+		sw.eports[i] = &ports[i]
+		eport.NewInto(&ports[i], eport.Config{
 			Sim:          cfg.Sim,
 			Rate:         rates[i],
 			Prop:         props[i],
@@ -143,10 +161,8 @@ func New(cfg Config, rates []units.BitRate, props []units.Time) *Switch {
 			Quantum:      cfg.Quantum,
 			StrictClass:  cfg.AckClass,
 			PauseTimeout: cfg.PauseTimeout,
-			OnDeparture:  func(pkt *packet.Packet, cookie int64) { sw.onDeparture(out, pkt, cookie) },
-			OnDequeue: func(pkt *packet.Packet, qlen, tx units.ByteSize) {
-				sw.onDequeue(out, pkt, qlen, tx)
-			},
+			Hooks:        sw,
+			HookID:       i,
 		})
 	}
 	return sw
@@ -175,7 +191,9 @@ func (sw *Switch) RxBytes(port int) units.ByteSize { return sw.rxBytes[port] }
 
 // ChargedBytes returns buffered bytes that entered on ingress port in and
 // wait in egress port out.
-func (sw *Switch) ChargedBytes(in, out int) units.ByteSize { return sw.charged[in][out] }
+func (sw *Switch) ChargedBytes(in, out int) units.ByteSize {
+	return sw.charged[in*sw.cfg.Ports+out]
+}
 
 // input adapts one ingress port to the eport.Receiver interface.
 type input struct {
@@ -187,7 +205,9 @@ type input struct {
 func (in input) Receive(pkt *packet.Packet) { in.sw.receive(in.port, pkt) }
 
 // Input returns the receiver the upstream device delivers into for port i.
-func (sw *Switch) Input(i int) eport.Receiver { return input{sw: sw, port: i} }
+// The receivers are slab-allocated at New, so the interface conversion here
+// does not allocate.
+func (sw *Switch) Input(i int) eport.Receiver { return &sw.inputs[i] }
 
 const (
 	cookieClassBits = 4
@@ -224,7 +244,7 @@ func (sw *Switch) receive(inPort int, pkt *packet.Packet) {
 	if sw.cfg.ECN != nil && pkt.Type == packet.Data && pkt.ECNCapable && !pkt.ECNMarked {
 		sw.maybeMark(pkt, out)
 	}
-	sw.charged[inPort][out] += pkt.Size
+	sw.charged[inPort*sw.cfg.Ports+out] += pkt.Size
 	sw.eports[out].Enqueue(pkt, cookie(inPort, pkt.Class))
 }
 
@@ -237,19 +257,23 @@ func (sw *Switch) handlePFC(inPort int, pkt *packet.Packet) {
 	sw.cfg.Sim.ScheduleAction(core.PFCProcessingDelay(rate), &sw.pfcAct, nil, n)
 }
 
-// onDeparture un-charges the packet from the MMU when its last bit leaves.
-func (sw *Switch) onDeparture(out int, pkt *packet.Packet, ck int64) {
+// PortDeparture implements eport.Hooks: it un-charges the packet from the
+// MMU when its last bit leaves.
+func (sw *Switch) PortDeparture(out int, pkt *packet.Packet, ck int64) {
 	if pkt.Type == packet.PFC {
 		return
 	}
 	in := cookiePort(ck)
-	sw.charged[in][out] -= pkt.Size
+	sw.charged[in*sw.cfg.Ports+out] -= pkt.Size
 	acts := sw.cfg.MMU.Release(in, cookieClass(ck), pkt.Size)
 	sw.emit(acts)
 }
 
-// onDequeue stamps INT telemetry when enabled.
-func (sw *Switch) onDequeue(out int, pkt *packet.Packet, qlen, tx units.ByteSize) {
+// PortIdle implements eport.Hooks; a switch has no work to inject.
+func (sw *Switch) PortIdle(int) {}
+
+// PortDequeue implements eport.Hooks: it stamps INT telemetry when enabled.
+func (sw *Switch) PortDequeue(out int, pkt *packet.Packet, qlen, tx units.ByteSize) {
 	if !sw.cfg.INT || pkt.Type != packet.Data {
 		return
 	}
@@ -288,34 +312,42 @@ func (sw *Switch) emit(acts []core.Action) {
 // armRefresh starts (once) the periodic PAUSE regeneration for a paused
 // ingress queue or port.
 func (sw *Switch) armRefresh(a core.Action) {
-	k := refreshKey{port: a.Port, class: a.Class, portLevel: a.PortLevel}
-	if sw.refreshing[k] {
+	bit := refreshBit(a.Class, a.PortLevel)
+	if sw.refreshing[a.Port]&bit != 0 {
 		return
 	}
-	sw.refreshing[k] = true
-	period := sw.cfg.PauseTimeout / 2
-	var tick func()
-	tick = func() {
-		var paused bool
-		if k.portLevel {
-			paused = sw.cfg.MMU.PortPaused(k.port)
-		} else {
-			paused = sw.cfg.MMU.QueuePaused(k.port, k.class)
-		}
-		if !paused {
-			delete(sw.refreshing, k)
-			return
-		}
-		var frame *packet.Packet
-		if k.portLevel {
-			frame = sw.pool.PortPFC(true)
-		} else {
-			frame = sw.pool.PFC(k.class, true)
-		}
-		sw.eports[k.port].EnqueueControl(frame)
-		sw.cfg.Sim.Schedule(period, tick)
+	sw.refreshing[a.Port] |= bit
+	sw.cfg.Sim.ScheduleAction(sw.cfg.PauseTimeout/2, &sw.refreshAct, nil, refreshKey(a.Port, a.Class, a.PortLevel))
+}
+
+// refreshAction is one tick of a pause-refresh loop; the loop's key travels
+// in n and the armed state lives in the per-port refreshing bitmask, so the
+// whole loop schedules without allocating.
+type refreshAction struct{ sw *Switch }
+
+func (a *refreshAction) Run(_ any, n int64) {
+	sw := a.sw
+	port := int(n >> (cookieClassBits + 1))
+	cls := packet.Class((n >> 1) & cookieClassMask)
+	portLevel := n&1 != 0
+	var paused bool
+	if portLevel {
+		paused = sw.cfg.MMU.PortPaused(port)
+	} else {
+		paused = sw.cfg.MMU.QueuePaused(port, cls)
 	}
-	sw.cfg.Sim.Schedule(period, tick)
+	if !paused {
+		sw.refreshing[port] &^= refreshBit(cls, portLevel)
+		return
+	}
+	var frame *packet.Packet
+	if portLevel {
+		frame = sw.pool.PortPFC(true)
+	} else {
+		frame = sw.pool.PFC(cls, true)
+	}
+	sw.eports[port].EnqueueControl(frame)
+	sw.cfg.Sim.ScheduleAction(sw.cfg.PauseTimeout/2, a, nil, n)
 }
 
 // maybeMark applies RED marking against the egress class backlog.

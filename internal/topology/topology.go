@@ -141,6 +141,8 @@ type Network struct {
 	UserData any
 
 	peers map[endpoint]endpoint
+
+	startAct startFlowAction
 }
 
 // NumNodes returns the size of the node-ID space (hosts then switches).
@@ -210,24 +212,39 @@ func (n *Network) FailLink(node, port int) {
 	}
 }
 
-// ComputeRoutes builds ECMP tables over the up links and installs them on
-// every switch. Call after all connect/FailLink calls.
+// ComputeRoutes builds the dense ECMP table over the up links and installs
+// each switch's view of it. Call after all connect/FailLink calls. Hosts
+// are the node-ID prefix 0..H-1, so the flat table needs no destination
+// remap (see routing.FlatTable).
 func (n *Network) ComputeRoutes() {
 	hosts := make([]int, len(n.Hosts))
 	for i := range hosts {
 		hosts[i] = i
 	}
-	tables := routing.ComputeECMP(n.NumNodes(), n.Links, hosts)
+	ft := routing.ComputeFlat(n.NumNodes(), n.Links, hosts)
 	for i, sw := range n.Switches {
-		sw.SetRoute(tables[n.SwitchNode(i)].Route)
+		sw.SetRoute(ft.Node(n.SwitchNode(i)).Route)
 	}
 }
+
+// StartFlow starts a flow now: it registers receive-side state on the
+// destination host and hands the flow to the source host. The flow must
+// have its CC assigned.
+func (n *Network) StartFlow(f *transport.Flow) {
+	n.Hosts[f.Dst].RegisterRecv(f)
+	n.Hosts[f.Src].AddFlow(f)
+}
+
+// startFlowAction defers StartFlow to the flow's start time without a
+// per-flow closure; the flow travels in the event's arg.
+type startFlowAction struct{ n *Network }
+
+func (a *startFlowAction) Run(arg any, _ int64) { a.n.StartFlow(arg.(*transport.Flow)) }
 
 // AddFlow schedules a flow: at f.Start the source host begins transmitting.
 // The flow must have its CC assigned.
 func (n *Network) AddFlow(f *transport.Flow) {
-	src := n.Hosts[f.Src]
-	n.Sim.At(f.Start, func() { src.AddFlow(f) })
+	n.Sim.AtAction(f.Start, &n.startAct, f, 0)
 }
 
 // Drops sums lossless admission drops over all switches.
@@ -241,12 +258,14 @@ func (n *Network) Drops() int64 {
 
 // newNetwork prepares an empty network.
 func newNetwork(cfg Config) *Network {
-	return &Network{
+	n := &Network{
 		Sim:   cfg.Sim,
 		Cfg:   cfg,
 		Pool:  packet.NewPool(),
-		peers: make(map[endpoint]endpoint),
+		peers: make(map[endpoint]endpoint, 64),
 	}
+	n.startAct = startFlowAction{n: n}
+	return n
 }
 
 // newHost appends a host with the given uplink rate; its ID is its index.
@@ -255,7 +274,6 @@ func (n *Network) newHost(rate units.BitRate) *host.Host {
 	h := host.New(host.Config{
 		Sim:          n.Cfg.Sim,
 		ID:           id,
-		Name:         fmt.Sprintf("h%d", id),
 		Rate:         rate,
 		Prop:         n.Cfg.LinkDelay,
 		Classes:      n.Cfg.Classes,

@@ -23,6 +23,17 @@ type Flow struct {
 	// Tag categorises the flow for metrics ("background", "fanin", ...).
 	Tag string
 
+	// TagID is Tag interned to a small integer by metrics.FCTCollector at
+	// experiment setup; zero means "not interned" and the collector falls
+	// back to the string tag.
+	TagID int32
+
+	// SrcSlot and DstSlot are the flow's generation-checked slot handles on
+	// its source and destination hosts (see internal/host). They are
+	// assigned when the flow starts (host.AddFlow / host.RegisterRecv) and
+	// stamped onto every packet; zero before start and after completion.
+	SrcSlot, DstSlot int64
+
 	// Sent and Acked track payload progress.
 	Sent  units.ByteSize
 	Acked units.ByteSize
@@ -85,3 +96,46 @@ func (*LineRate) OnCNP(units.Time, *Flow) {}
 // Factory builds a controller per flow. Implementations typically capture
 // the simulator and link parameters.
 type Factory func(f *Flow) CongestionControl
+
+// FlowPool is a single-goroutine free list of Flows. With flows
+// materialized lazily at their start time (see dshsim.Run) and returned
+// here after the completion callback, steady-state flow churn allocates
+// only up to the peak number of concurrently live flows.
+type FlowPool struct {
+	free []*Flow
+	news int64
+}
+
+// flowSlabSize is how many Flows one free-list refill allocates; warming
+// an empty pool costs one allocation per slab, not one per flow.
+const flowSlabSize = 32
+
+// Get returns a zeroed flow owned by the caller.
+func (p *FlowPool) Get() *Flow {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*f = Flow{}
+		return f
+	}
+	p.news++
+	slab := make([]Flow, flowSlabSize)
+	if cap(p.free) < len(p.free)+flowSlabSize {
+		free := make([]*Flow, len(p.free), len(p.free)+flowSlabSize)
+		copy(free, p.free)
+		p.free = free
+	}
+	for i := 1; i < flowSlabSize; i++ {
+		p.free = append(p.free, &slab[i])
+	}
+	return &slab[0]
+}
+
+// Put recycles a flow. The caller must hold the only live reference: after
+// Put the object may be handed out again by Get, so any retained *Flow
+// (e.g. inside a completion hook) is invalid.
+func (p *FlowPool) Put(f *Flow) { p.free = append(p.free, f) }
+
+// News reports how many Gets missed the free list and allocated.
+func (p *FlowPool) News() int64 { return p.news }

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify lint bench bench-sweep bench-smoke bench-json profile
+.PHONY: build test race verify lint bench bench-sweep bench-smoke bench-json bench-diff profile
 
 build:
 	$(GO) build ./...
@@ -46,10 +46,20 @@ bench-smoke:
 
 # Stable numbers for the perf trajectory: runs the kernel suite in
 # dshsim/benchkit and writes the schema-stable JSON report. Writing also
-# validates against the checked-in allocs/op budgets, so this target fails
-# on an allocation regression.
+# validates against the checked-in budgets (allocs/op, events/op, heap
+# high-water), so this target fails on an allocation, event-count, or
+# heap-growth regression.
 bench-json:
-	$(GO) run ./cmd/dshbench -bench-json BENCH_PR3.json
+	$(GO) run ./cmd/dshbench -bench-json BENCH_PR4.json
+
+# Compare two perf reports kernel by kernel; fails when any kernel's ns/op
+# regressed beyond BENCH_TOL. Defaults compare the previous PR's committed
+# report against the current one.
+BENCH_OLD ?= BENCH_PR3.json
+BENCH_NEW ?= BENCH_PR4.json
+BENCH_TOL ?= 0.3
+bench-diff:
+	$(GO) run ./cmd/dshbench -bench-diff -bench-tolerance $(BENCH_TOL) $(BENCH_OLD) $(BENCH_NEW)
 
 # CPU + heap profiles of a representative sweep; see README "Profiling a
 # sweep". Override PROFILE_EXP to profile a different experiment.

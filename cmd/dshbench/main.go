@@ -41,6 +41,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all cores)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	benchJSON := flag.String("bench-json", "", "run the perf kernel suite and write the JSON report to this path ('-' for stdout)")
+	benchDiff := flag.Bool("bench-diff", false, "compare two bench reports: dshbench -bench-diff OLD.json NEW.json (exit 1 on regression)")
+	benchTol := flag.Float64("bench-tolerance", 0.3, "relative ns/op slowdown tolerated by -bench-diff")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (at exit) to this path")
 	flag.Usage = usage
@@ -74,6 +76,21 @@ func main() {
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchDiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench-diff: want exactly two report paths (old new)")
+			os.Exit(2)
+		}
+		ok, err := runBenchDiff(flag.Arg(0), flag.Arg(1), *benchTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -154,12 +171,39 @@ func runBenchJSON(path string) error {
 	return f.Close()
 }
 
+// runBenchDiff compares two bench reports and prints the table; it returns
+// false when any kernel regressed beyond the tolerance.
+func runBenchDiff(oldPath, newPath string, tol float64) (bool, error) {
+	load := func(path string) (benchkit.Report, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return benchkit.Report{}, err
+		}
+		defer f.Close()
+		return benchkit.ReadReport(f)
+	}
+	oldR, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	lines := benchkit.Diff(oldR, newR, tol)
+	fmt.Printf("bench-diff %s → %s (tolerance %.0f%%)\n", oldPath, newPath, 100*tol)
+	fmt.Print(benchkit.FormatDiff(oldR, newR, lines, tol))
+	return len(benchkit.Regressions(lines)) == 0, nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `dshbench regenerates the DSH paper's evaluation figures.
 
 usage: dshbench [-full] [-seed N] [-workers N] [-quiet]
                 [-cpuprofile F] [-memprofile F] <experiment>
        dshbench -bench-json <path>   run the perf kernels, write a JSON report
+       dshbench -bench-diff [-bench-tolerance T] <old.json> <new.json>
+                                     compare two reports, exit 1 on regression
 
 experiments:
   fig4     Broadcom chip buffer/headroom trends (table)

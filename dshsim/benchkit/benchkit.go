@@ -6,6 +6,12 @@
 // `go test -bench` entry points (bench_test.go at the repo root) and the
 // programmatic collection that appends one comparable point per PR to the
 // perf trajectory (BENCH_PR<n>.json at the repo root).
+//
+// Besides time and allocations, every kernel reports two engine counters
+// through b.ReportMetric: "events/op" (simulator events processed per
+// benchmark op) and "heap_max" (the event heap's high-water mark). The
+// counters carry checked-in budgets in the report schema, so an event-count
+// or heap-growth regression fails CI the same way an allocation would.
 package benchkit
 
 import (
@@ -42,6 +48,9 @@ func EventEngine(b *testing.B) {
 	b.ResetTimer()
 	s.ScheduleAction(1, t, nil, 0)
 	s.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(s.Processed())/float64(b.N), "events/op")
+	b.ReportMetric(float64(s.HeapMax()), "heap_max")
 }
 
 // Forwarding measures the steady-state packet forwarding path: one switch,
@@ -65,13 +74,16 @@ func Forwarding(b *testing.B) {
 	if !f.Done() {
 		b.Fatal("forwarding flow did not complete")
 	}
-	b.ReportMetric(float64(net.Sim.Processed())/float64(b.N), "events/pkt")
+	b.ReportMetric(float64(net.Sim.Processed())/float64(b.N), "events/op")
+	b.ReportMetric(float64(net.Sim.HeapMax()), "heap_max")
 }
 
 // Incast measures a complete 16:1 incast run (64 KB per sender, drained),
 // including network construction — the unit the Fig. 11/14 sweeps repeat.
 func Incast(b *testing.B) {
 	const fanIn = 16
+	var events uint64
+	heapMax := 0
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		nc := dshsim.NetworkConfig{
@@ -92,18 +104,27 @@ func Incast(b *testing.B) {
 		if res.Unfinished != 0 {
 			b.Fatalf("incast left %d flows unfinished", res.Unfinished)
 		}
+		events += res.Events
+		if res.HeapMax > heapMax {
+			heapMax = res.HeapMax
+		}
 	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(heapMax), "heap_max")
 }
 
 // Fig11 measures the full Fig. 11 PFC-avoidance sweep (12 paired runs,
 // serial so the number is scheduling-noise free) — the repo's heaviest
 // single-switch micro-benchmark.
 func Fig11(b *testing.B) {
+	st := &dshsim.SweepStats{}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rows := dshsim.Fig11(dshsim.ExpOptions{Seed: 1, Workers: 1})
+		rows := dshsim.Fig11(dshsim.ExpOptions{Seed: 1, Workers: 1, Stats: st})
 		if len(rows) == 0 {
 			b.Fatal("fig11 returned no rows")
 		}
 	}
+	b.ReportMetric(float64(st.Events())/float64(b.N), "events/op")
+	b.ReportMetric(float64(st.HeapMax()), "heap_max")
 }

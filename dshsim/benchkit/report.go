@@ -10,7 +10,12 @@ import (
 
 // SchemaVersion identifies the report layout. Bump only on breaking field
 // changes; tooling that trends BENCH_PR<n>.json files across PRs keys on it.
-const SchemaVersion = "dsh-bench/v1"
+// v2 added events_processed / heap_max and their budgets.
+const SchemaVersion = "dsh-bench/v2"
+
+// schemaV1 is the previous layout, still accepted by ReadReport so
+// bench-diff can compare against pre-v2 baselines.
+const schemaV1 = "dsh-bench/v1"
 
 // BenchResult is one benchmark's measurement.
 type BenchResult struct {
@@ -19,16 +24,24 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// EventsProcessed is the simulator events executed per op (the kernel's
+	// "events/op" metric); HeapMax is the event heap's high-water mark.
+	// Zero means the kernel did not report the counter (pre-v2 reports).
+	EventsProcessed float64 `json:"events_processed"`
+	HeapMax         float64 `json:"heap_max"`
 	// AllocBudget is the checked-in allocation ceiling for this kernel
 	// (allocBudgets); Validate fails the report when AllocsPerOp exceeds
-	// it, which is the CI allocation-regression guard.
-	AllocBudget *float64 `json:"alloc_budget,omitempty"`
+	// it, which is the CI allocation-regression guard. EventBudget and
+	// HeapMaxBudget guard the engine counters the same way.
+	AllocBudget   *float64 `json:"alloc_budget,omitempty"`
+	EventBudget   *float64 `json:"event_budget,omitempty"`
+	HeapMaxBudget *float64 `json:"heap_max_budget,omitempty"`
 }
 
 // allocBudgets are the checked-in allocs/op ceilings enforced by Validate.
 // The steady-state kernels must stay allocation-free; the macro kernels'
 // ceilings sit at 10% of their PR 2 measurements — comfortably above the
-// PR 3 numbers (154 and 2569, see BENCH_PR3.json) so noise does not flake
+// PR 4 numbers (174 and 2883, see BENCH_PR4.json) so noise does not flake
 // CI, while a real regression (a map, closure, or per-flow allocation
 // creeping back onto the hot path) still fails.
 var allocBudgets = map[string]float64{
@@ -36,6 +49,29 @@ var allocBudgets = map[string]float64{
 	"Forwarding":  0,
 	"Incast":      199,  // PR 2 baseline 1989; ≥10× cut enforced
 	"Fig11":       6471, // PR 2 baseline 64712; ≥10× cut enforced
+}
+
+// eventBudgets cap events processed per op. Event counts are deterministic
+// for a fixed seed, so the ceilings sit only ~10% above the PR 4
+// measurements: an extra event sneaking into the per-packet path is a real
+// regression, not noise.
+var eventBudgets = map[string]float64{
+	"EventEngine": 1.1,       // exactly 1 dispatch per op
+	"Forwarding":  8.8,       // measured 8.0 (PR 4)
+	"Incast":      6_500,     // measured 5,904 (PR 4)
+	"Fig11":       6_100_000, // measured 5,494,047 (PR 4)
+}
+
+// heapMaxBudgets cap the event heap's high-water mark, the observable the
+// sim.Channel conversion shrinks: with one resident event per link the heap
+// scales with topology size, not packets in flight. Ceilings sit ~30% above
+// the PR 4 measurements (heap growth is deterministic but shaped by DWRR
+// interleaving, so a little more slack than the event budgets).
+var heapMaxBudgets = map[string]float64{
+	"EventEngine": 4,  // measured 1 (PR 4)
+	"Forwarding":  10, // measured 7 (PR 4)
+	"Incast":      48, // measured 36 (PR 4); one-event-per-delivery held 333
+	"Fig11":       96, // measured 74 (PR 4); one-event-per-delivery held 445
 }
 
 // Report is the schema-stable document emitted by `make bench-json` /
@@ -78,14 +114,22 @@ func collect(kernels []kernel) Report {
 	for _, k := range kernels {
 		r := testing.Benchmark(k.fn)
 		br := BenchResult{
-			Name:        k.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: float64(r.AllocsPerOp()),
-			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			Name:            k.name,
+			Iterations:      r.N,
+			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:     float64(r.AllocsPerOp()),
+			BytesPerOp:      float64(r.AllocedBytesPerOp()),
+			EventsProcessed: r.Extra["events/op"],
+			HeapMax:         r.Extra["heap_max"],
 		}
 		if budget, ok := allocBudgets[k.name]; ok {
 			br.AllocBudget = &budget
+		}
+		if budget, ok := eventBudgets[k.name]; ok {
+			br.EventBudget = &budget
+		}
+		if budget, ok := heapMaxBudgets[k.name]; ok {
+			br.HeapMaxBudget = &budget
 		}
 		rep.Benchmarks = append(rep.Benchmarks, br)
 	}
@@ -117,9 +161,20 @@ func (r Report) Validate() error {
 		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 {
 			return fmt.Errorf("benchmark %s: negative alloc stats", b.Name)
 		}
+		if b.EventsProcessed < 0 || b.HeapMax < 0 {
+			return fmt.Errorf("benchmark %s: negative engine counters", b.Name)
+		}
 		if b.AllocBudget != nil && b.AllocsPerOp > *b.AllocBudget {
 			return fmt.Errorf("benchmark %s: %v allocs/op exceeds the checked-in budget of %v — a map, closure, or per-flow allocation crept back onto the hot path",
 				b.Name, b.AllocsPerOp, *b.AllocBudget)
+		}
+		if b.EventBudget != nil && b.EventsProcessed > *b.EventBudget {
+			return fmt.Errorf("benchmark %s: %v events/op exceeds the checked-in budget of %v — an extra event crept into the per-packet path",
+				b.Name, b.EventsProcessed, *b.EventBudget)
+		}
+		if b.HeapMaxBudget != nil && b.HeapMax > *b.HeapMaxBudget {
+			return fmt.Errorf("benchmark %s: heap high-water %v exceeds the checked-in budget of %v — something schedules per-packet events outside the delivery channels again",
+				b.Name, b.HeapMax, *b.HeapMaxBudget)
 		}
 	}
 	return nil
@@ -133,4 +188,21 @@ func (r Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadReport decodes a report for comparison. It accepts the current schema
+// and v1 (whose engine-counter fields read back as zero), so bench-diff can
+// baseline against reports emitted before the counters existed.
+func ReadReport(rd io.Reader) (Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("benchkit: parsing report: %w", err)
+	}
+	if r.Schema != SchemaVersion && r.Schema != schemaV1 {
+		return Report{}, fmt.Errorf("benchkit: unsupported schema %q", r.Schema)
+	}
+	if len(r.Benchmarks) == 0 {
+		return Report{}, fmt.Errorf("benchkit: report has no benchmarks")
+	}
+	return r, nil
 }

@@ -244,6 +244,9 @@ type Result struct {
 	Unfinished int
 	// Events is the number of simulator events processed.
 	Events uint64
+	// HeapMax is the high-water mark of the event heap — the scaling
+	// observable of the Channel conversion (see sim.Simulator.HeapMax).
+	HeapMax int
 }
 
 // Run executes a flow schedule on a network built by one of the New*
@@ -322,6 +325,11 @@ func Run(net *Network, rc RunConfig) *Result {
 	}
 	res.Unfinished = started - res.FCT.Count("")
 	res.Events = net.Sim.Processed()
+	res.HeapMax = net.Sim.HeapMax()
+	// The run is over: clamp the simulator's pooled capacity so parked
+	// results of a long parallel sweep don't pin peak-load memory. The
+	// clock survives, so post-Run pause accounting stays correct.
+	net.Sim.Reset()
 	return res
 }
 

@@ -32,6 +32,10 @@ type ExpOptions struct {
 	// job, as it completes. With Workers > 1 it may be called from worker
 	// goroutines (never concurrently with itself).
 	Progress func(SweepProgress)
+	// Stats, when non-nil, accumulates engine counters (events processed,
+	// event-heap high-water mark) across the harness's runs. Currently
+	// threaded through the Fig11 harness, which benchkit benchmarks.
+	Stats *SweepStats
 
 	// testFabric and testLoads are seams for the in-package parallel≡serial
 	// equivalence tests: they shrink the leaf–spine fabric and the Fig. 14
@@ -80,7 +84,7 @@ func fig11Sweep(opt ExpOptions, fractions []int) []Fig11Row {
 		},
 		func(i int) units.Time {
 			pt, scheme := i/len(schemes), schemes[i%len(schemes)]
-			return fig11Run(scheme, fractions[pt], deriveSeed(opt.Seed, "fig11", pt, 0))
+			return fig11Run(scheme, fractions[pt], deriveSeed(opt.Seed, "fig11", pt, 0), opt.Stats)
 		})
 	rows := make([]Fig11Row, len(fractions))
 	for i, pct := range fractions {
@@ -90,7 +94,7 @@ func fig11Sweep(opt ExpOptions, fractions []int) []Fig11Row {
 	return rows
 }
 
-func fig11Run(scheme Scheme, burstPct int, seed int64) units.Time {
+func fig11Run(scheme Scheme, burstPct int, seed int64, stats *SweepStats) units.Time {
 	const (
 		hosts  = 32
 		rate   = 100 * units.Gbps
@@ -119,6 +123,7 @@ func fig11Run(scheme Scheme, burstPct int, seed int64) units.Time {
 		})
 	}
 	res := Run(net, RunConfig{Specs: specs, Duration: horizon})
+	stats.note(res)
 	if res.Drops > 0 {
 		panic(fmt.Sprintf("dshsim: fig11 violated losslessness (%d drops, scheme %s)", res.Drops, scheme))
 	}

@@ -1,0 +1,34 @@
+package dshsim
+
+import "sync/atomic"
+
+// SweepStats accumulates engine counters across the runs of a sweep. The
+// fields are atomics because sweep jobs run on worker goroutines; the
+// aggregate is deterministic regardless (a sum and a max commute). benchkit
+// threads one through ExpOptions.Stats to surface events-processed and
+// heap-high-water numbers per kernel.
+type SweepStats struct {
+	events  atomic.Uint64
+	heapMax atomic.Int64
+}
+
+// note folds one run's counters in; a nil receiver is a no-op so harness
+// code can pass the option through unconditionally.
+func (st *SweepStats) note(res *Result) {
+	if st == nil {
+		return
+	}
+	st.events.Add(res.Events)
+	for {
+		cur := st.heapMax.Load()
+		if int64(res.HeapMax) <= cur || st.heapMax.CompareAndSwap(cur, int64(res.HeapMax)) {
+			return
+		}
+	}
+}
+
+// Events returns the total simulator events processed across noted runs.
+func (st *SweepStats) Events() uint64 { return st.events.Load() }
+
+// HeapMax returns the largest event-heap high-water mark across noted runs.
+func (st *SweepStats) HeapMax() int { return int(st.heapMax.Load()) }

@@ -178,6 +178,12 @@ type Port struct {
 	deliverAct deliverAction
 	expiryAct  expiryAction
 
+	// ch buffers in-flight deliveries. The transmitter is non-preemptive
+	// and the propagation delay constant, so delivery times are strictly
+	// increasing — the FIFO stream a sim.Channel turns into one resident
+	// heap event instead of one per packet in flight.
+	ch sim.Channel
+
 	// clsBuf backs cls for the standard class counts, so building a port
 	// allocates nothing beyond the Port itself.
 	clsBuf [packet.NumClasses]classState
@@ -235,6 +241,7 @@ func NewInto(p *Port, cfg Config) {
 	p.txDoneAct = txDoneAction{p: p}
 	p.deliverAct = deliverAction{p: p}
 	p.expiryAct = expiryAction{p: p}
+	p.ch.Init(cfg.Sim, &p.deliverAct)
 }
 
 // Connect attaches the receiving end of the wire.
@@ -470,7 +477,7 @@ func (p *Port) transmit(e entry) {
 		panic("eport: transmit before Connect")
 	}
 	if p.up {
-		s.ScheduleAction(txTime+p.cfg.Prop, &p.deliverAct, pkt, 0)
+		p.ch.Push(txTime+p.cfg.Prop, pkt, 0)
 	}
 }
 

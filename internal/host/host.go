@@ -113,6 +113,11 @@ type Host struct {
 	wakeAct wakeAction
 	pfcAct  pfcAction
 
+	// pfcCh buffers received PFC frames through their processing delay. The
+	// delay is constant (per the downlink rate) and frames arrive in link
+	// order, so the stream is FIFO — one resident heap event suffices.
+	pfcCh sim.Channel
+
 	// in backs Input(); handing out its address avoids boxing a fresh
 	// receiver per call.
 	in input
@@ -171,6 +176,7 @@ func New(cfg Config) *Host {
 	}
 	h.wakeAct = wakeAction{h: h}
 	h.pfcAct = pfcAction{h: h}
+	h.pfcCh.Init(cfg.Sim, &h.pfcAct)
 	h.in = input{h: h}
 	h.flows = h.flowsBuf[:0]
 	h.slots = h.slotsBuf[:0]
@@ -380,7 +386,7 @@ func (h *Host) receive(pkt *packet.Packet) {
 func (h *Host) handlePFC(pkt *packet.Packet) {
 	n := pkt.FC.Encode()
 	pkt.Release()
-	h.cfg.Sim.ScheduleAction(core.PFCProcessingDelay(h.cfg.Rate), &h.pfcAct, nil, n)
+	h.pfcCh.Push(core.PFCProcessingDelay(h.cfg.Rate), nil, n)
 }
 
 func (h *Host) handleData(pkt *packet.Packet) {

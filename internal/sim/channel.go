@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+
+	"dsh/units"
+)
+
+// Channel schedules a FIFO stream of deliveries through one resident heap
+// event instead of one event per entry. It exploits the invariant of a
+// point-to-point link with constant propagation delay: entries are pushed in
+// non-decreasing due-time order, so only the head of line can be the next to
+// fire. Entries wait in a pooled ring buffer; the channel keeps exactly one
+// event on the simulator heap — the head's — and re-arms itself when it
+// fires. Heap size then scales with the number of streams (topology size),
+// not with instantaneous load.
+//
+// Ordering is identical-by-construction to scheduling every entry with
+// AtAction: Push reserves the engine's global sequence number immediately,
+// and the head re-arm schedules under the stored (at, seq) pair. At any
+// moment the heap holds the channel's minimum entry under its original key,
+// so same-timestamp interleaving with the rest of the event set is
+// bit-identical to the one-event-per-entry implementation.
+//
+// Push panics if the due time is below the current tail's — a channel is for
+// streams that are FIFO by physics, not a general priority queue.
+type Channel struct {
+	s    *Simulator
+	sink Action
+	buf  []chanEntry // power-of-two ring
+	head int
+	n    int
+	// armed reports whether the head entry's event is resident on the heap.
+	// A cancelled head stays armed and fires as a no-op (lazy, like Timer
+	// cancellation); cancelled non-head entries are dropped when the head
+	// advances past them, without ever touching the heap.
+	armed bool
+	// buf0 is the initial ring, inline so a slab-allocated device embedding
+	// the channel pays no allocation until a link holds more than chanInline
+	// packets in flight. Init points buf at it, so a Channel must not be
+	// copied after Init.
+	buf0 [chanInline]chanEntry
+}
+
+// chanInline sizes the inline ring: 16 entries cover a 100 Gbps link with a
+// bandwidth-delay product of ~16 MTU packets before the first growth.
+const chanInline = 16
+
+// chanEntry is one buffered delivery: the (at, seq) key it would have had as
+// a heap event, plus the sink payload.
+type chanEntry struct {
+	at        units.Time
+	seq       uint64
+	n         int64
+	arg       any
+	cancelled bool
+}
+
+// Init binds the channel to a simulator and a delivery callback. Channels
+// are embedded by value in their owning device (a port, a host), so Init
+// replaces a constructor.
+func (c *Channel) Init(s *Simulator, sink Action) {
+	if s == nil || sink == nil {
+		panic("sim: Channel.Init requires a simulator and a sink")
+	}
+	c.s = s
+	c.sink = sink
+	c.buf = c.buf0[:]
+	c.head = 0
+	c.n = 0
+}
+
+// Len returns the number of buffered entries (including cancelled ones not
+// yet dropped).
+func (c *Channel) Len() int { return c.n }
+
+// Push buffers a delivery of (arg, n) to the sink after the given delay.
+// Delays must keep due times non-decreasing across pushes.
+func (c *Channel) Push(delay units.Time, arg any, n int64) ChanTimer {
+	return c.PushAt(c.s.now+delay, arg, n)
+}
+
+// PushAt buffers a delivery of (arg, n) to the sink at the given absolute
+// time, which must not precede the current tail's due time (nor the clock).
+func (c *Channel) PushAt(at units.Time, arg any, n int64) ChanTimer {
+	if c.sink == nil {
+		panic("sim: Push on an uninitialised Channel")
+	}
+	if at < c.s.now {
+		panic(fmt.Sprintf("sim: channel push into the past: at %v, now %v", at, c.s.now))
+	}
+	if c.n > 0 {
+		tail := c.buf[(c.head+c.n-1)&(len(c.buf)-1)]
+		if at < tail.at {
+			panic(fmt.Sprintf("sim: channel push at %v behind tail due %v — the stream is not FIFO", at, tail.at))
+		}
+	}
+	seq := c.s.reserveSeq()
+	if c.n == len(c.buf) {
+		c.grow()
+	}
+	c.buf[(c.head+c.n)&(len(c.buf)-1)] = chanEntry{at: at, seq: seq, n: n, arg: arg}
+	c.n++
+	if !c.armed {
+		c.arm(at, seq)
+	}
+	return ChanTimer{ch: c, seq: seq}
+}
+
+// grow doubles the ring, unrolling it to the front.
+func (c *Channel) grow() {
+	nbuf := make([]chanEntry, 2*len(c.buf))
+	mask := len(c.buf) - 1
+	for i := 0; i < c.n; i++ {
+		nbuf[i] = c.buf[(c.head+i)&mask]
+	}
+	c.buf = nbuf
+	c.head = 0
+}
+
+// arm schedules the resident head event under the entry's reserved key.
+func (c *Channel) arm(at units.Time, seq uint64) {
+	c.s.atSeq(at, seq, c, nil, 0)
+	c.armed = true
+}
+
+// Run implements Action: the resident head event fired. Pop the head, drop
+// any cancelled followers, re-arm the next live entry, then deliver. Arming
+// precedes delivery so the sink may push new entries reentrantly.
+func (c *Channel) Run(any, int64) {
+	c.armed = false
+	mask := len(c.buf) - 1
+	e := c.buf[c.head]
+	c.buf[c.head] = chanEntry{}
+	c.head = (c.head + 1) & mask
+	c.n--
+	for c.n > 0 && c.buf[c.head].cancelled {
+		c.buf[c.head] = chanEntry{}
+		c.head = (c.head + 1) & mask
+		c.n--
+	}
+	if c.n > 0 {
+		next := &c.buf[c.head]
+		c.arm(next.at, next.seq)
+	}
+	if !e.cancelled {
+		c.sink.Run(e.arg, e.n)
+	}
+}
+
+// find locates the live ring entry carrying seq, or nil. Sequence numbers
+// are strictly increasing along the ring, so this is a binary search.
+func (c *Channel) find(seq uint64) *chanEntry {
+	mask := len(c.buf) - 1
+	lo, hi := 0, c.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.buf[(c.head+mid)&mask].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.n {
+		if e := &c.buf[(c.head+lo)&mask]; e.seq == seq {
+			return e
+		}
+	}
+	return nil
+}
+
+// ChanTimer is a cancellable handle to a channel entry, the Channel
+// counterpart of Timer. The zero ChanTimer is inert. Sequence numbers are
+// globally unique and never reused, so no generation check is needed: a
+// handle to a delivered or dropped entry simply stops resolving.
+type ChanTimer struct {
+	ch  *Channel
+	seq uint64
+}
+
+// Active reports whether the entry is still buffered and not cancelled.
+func (t ChanTimer) Active() bool {
+	if t.ch == nil {
+		return false
+	}
+	e := t.ch.find(t.seq)
+	return e != nil && !e.cancelled
+}
+
+// At returns the entry's due time, or -1 if the handle is no longer active.
+func (t ChanTimer) At() units.Time {
+	if t.ch == nil {
+		return -1
+	}
+	if e := t.ch.find(t.seq); e != nil && !e.cancelled {
+		return e.at
+	}
+	return -1
+}
+
+// Cancel prevents the entry's delivery. The entry itself is dropped when the
+// head advances past it; a cancelled head entry's resident event fires as a
+// no-op. Cancel does not release the pushed arg — the canceller owns it.
+func (t ChanTimer) Cancel() {
+	if t.ch == nil {
+		return
+	}
+	if e := t.ch.find(t.seq); e != nil && !e.cancelled {
+		e.cancelled = true
+		e.arg = nil
+	}
+}

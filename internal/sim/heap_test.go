@@ -59,7 +59,7 @@ func TestHeapMatchesOracle(t *testing.T) {
 				t.Fatalf("trial %d: pop = (at %d, seq %d), oracle (at %d, seq %d)",
 					trial, got.at, got.seq, want.at, want.seq)
 			}
-			s.recycle(got)
+			s.recycle(got.ev)
 		}
 		for step := 0; step < 2000; step++ {
 			if len(oracle) == 0 || rng.Intn(3) > 0 {
@@ -77,9 +77,9 @@ func TestHeapMatchesOracle(t *testing.T) {
 	}
 }
 
-// TestHeapIndexInvariant checks that every node's idx matches its slot and
-// that the 4-ary heap property holds after a randomized workload.
-func TestHeapIndexInvariant(t *testing.T) {
+// TestHeapInvariant checks that the 4-ary heap property holds and that every
+// entry's inline key matches its event after a randomized workload.
+func TestHeapInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	s := New()
 	for i := 0; i < 5000; i++ {
@@ -88,18 +88,19 @@ func TestHeapIndexInvariant(t *testing.T) {
 			ev.at, ev.seq, ev.cancelled = units.Time(rng.Intn(1000)), uint64(i), false
 			s.push(ev)
 		} else {
-			s.recycle(s.pop())
+			s.recycle(s.pop().ev)
 		}
 		if i%97 != 0 {
 			continue
 		}
-		for j, ev := range s.heap {
-			if int(ev.idx) != j {
-				t.Fatalf("step %d: heap[%d].idx = %d", i, j, ev.idx)
+		for j, e := range s.heap {
+			if e.at != e.ev.at || e.seq != e.ev.seq {
+				t.Fatalf("step %d: heap[%d] key (%d, %d) != event (%d, %d)",
+					i, j, e.at, e.seq, e.ev.at, e.ev.seq)
 			}
 			if j > 0 {
 				p := (j - 1) >> 2
-				if less(ev, s.heap[p]) {
+				if less(e, s.heap[p]) {
 					t.Fatalf("step %d: heap property violated at %d", i, j)
 				}
 			}

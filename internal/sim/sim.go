@@ -7,10 +7,13 @@
 //
 // The engine is allocation-free on the steady-state path: heap nodes are
 // recycled through a free list, the priority queue is a typed 4-ary min-heap
-// (no container/heap `any` boxing), and the Action form of scheduling lets
-// hot paths pass a pre-bound callback struct instead of a closure. Callers
-// hold generation-checked Timer handles, so a stale handle to a recycled
-// event is inert rather than dangerous.
+// (no container/heap `any` boxing) whose entries carry the (at, seq) sort key
+// inline so a sift never dereferences an Event, and the Action form of
+// scheduling lets hot paths pass a pre-bound callback struct instead of a
+// closure. Callers hold generation-checked Timer handles, so a stale handle
+// to a recycled event is inert rather than dangerous. FIFO event streams
+// (link deliveries, per-port PFC processing) should go through a Channel,
+// which keeps one resident heap event per stream instead of one per entry.
 package sim
 
 import (
@@ -37,8 +40,8 @@ type Event struct {
 	at        units.Time
 	seq       uint64
 	gen       uint32
-	idx       int32 // position in the heap; -1 when not queued
 	cancelled bool
+	sim       *Simulator
 
 	fn  func()
 	act Action
@@ -70,14 +73,17 @@ func (t Timer) At() units.Time {
 }
 
 // Cancel prevents the event from firing. Cancelling an inactive handle
-// (zero value, already fired, already cancelled, or recycled) is a no-op;
-// the entry itself is dropped lazily when it reaches the top of the heap.
+// (zero value, already fired, already cancelled, or recycled) is a no-op.
+// A cancelled entry is dropped lazily when it reaches the top of the heap,
+// or eagerly by an in-place compaction once cancelled entries outnumber
+// live ones (see compact).
 func (t Timer) Cancel() {
 	if t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled {
 		t.ev.cancelled = true
 		t.ev.fn = nil
 		t.ev.act = nil
 		t.ev.arg = nil
+		t.ev.sim.noteCancel()
 	}
 }
 
@@ -85,20 +91,27 @@ func (t Timer) Cancel() {
 // allocation keeps nodes dense in memory and amortizes the cold-start cost.
 const eventBlockSize = 2048
 
+// compactMinCancelled is the floor below which cancellation never triggers a
+// compaction: tiny heaps reap lazily at pop for less work than a heapify.
+const compactMinCancelled = 64
+
 // Simulator owns the virtual clock and the pending event set.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now       units.Time
-	heap      []*Event
+	heap      []heapEntry
 	free      []*Event
+	lastBlock []Event
 	seq       uint64
 	stopped   bool
 	processed uint64
+	heapMax   int
+	cancelled int
 }
 
 // New returns an empty simulator with the clock at zero.
 func New() *Simulator {
-	return &Simulator{heap: make([]*Event, 0, 1024)}
+	return &Simulator{heap: make([]heapEntry, 0, 1024)}
 }
 
 // Now returns the current simulated time.
@@ -108,8 +121,15 @@ func (s *Simulator) Now() units.Time { return s.now }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently scheduled (including
-// cancelled entries not yet reaped).
+// cancelled entries not yet reaped, excluding entries buffered inside
+// Channels beyond each channel's resident head event).
 func (s *Simulator) Pending() int { return len(s.heap) }
+
+// HeapMax returns the high-water mark of the heap size — the largest pending
+// event set the run has held. It is the observable that the Channel
+// conversion shrinks: with per-packet delivery events the heap scales with
+// instantaneous load; with channels it scales with topology size.
+func (s *Simulator) HeapMax() int { return s.heapMax }
 
 // alloc takes a node from the free list, refilling it by a block when dry.
 func (s *Simulator) alloc() *Event {
@@ -120,6 +140,10 @@ func (s *Simulator) alloc() *Event {
 		return ev
 	}
 	block := make([]Event, eventBlockSize)
+	s.lastBlock = block
+	for i := range block {
+		block[i].sim = s
+	}
 	for i := 1; i < eventBlockSize; i++ {
 		s.free = append(s.free, &block[i])
 	}
@@ -133,20 +157,34 @@ func (s *Simulator) recycle(ev *Event) {
 	ev.fn = nil
 	ev.act = nil
 	ev.arg = nil
-	ev.idx = -1
 	s.free = append(s.free, ev)
 }
 
-// enqueue builds a node for time t and pushes it onto the heap.
+// reserveSeq hands out the next global sequence number without scheduling
+// anything. Channels stamp entries with a reserved seq at push time, so the
+// later head re-arm keeps the tie-break position the entry would have had as
+// an ordinary AtAction call.
+func (s *Simulator) reserveSeq() uint64 {
+	q := s.seq
+	s.seq++
+	return q
+}
+
+// enqueue builds a node for time t under a fresh sequence number.
 func (s *Simulator) enqueue(t units.Time) *Event {
+	return s.enqueueSeq(t, s.reserveSeq())
+}
+
+// enqueueSeq builds a node for time t under a previously reserved sequence
+// number and pushes it onto the heap.
+func (s *Simulator) enqueueSeq(t units.Time, seq uint64) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, s.now))
 	}
 	ev := s.alloc()
 	ev.at = t
-	ev.seq = s.seq
+	ev.seq = seq
 	ev.cancelled = false
-	s.seq++
 	s.push(ev)
 	return ev
 }
@@ -187,6 +225,16 @@ func (s *Simulator) AtAction(t units.Time, act Action, arg any, n int64) Timer {
 	return Timer{ev: ev, gen: ev.gen}
 }
 
+// atSeq schedules act at time t under a sequence number reserved earlier via
+// reserveSeq. It is the Channel re-arm path; no Timer handle is returned
+// because the channel owns the resident event outright.
+func (s *Simulator) atSeq(t units.Time, seq uint64, act Action, arg any, n int64) {
+	ev := s.enqueueSeq(t, seq)
+	ev.act = act
+	ev.arg = arg
+	ev.n = n
+}
+
 // Stop makes the current Run/RunUntil call return after the in-progress
 // event completes. Pending events stay queued.
 func (s *Simulator) Stop() { s.stopped = true }
@@ -203,17 +251,19 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(deadline units.Time) {
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
-		ev := s.heap[0]
-		if ev.cancelled {
+		top := s.heap[0]
+		if top.ev.cancelled {
 			s.pop()
-			s.recycle(ev)
+			s.cancelled--
+			s.recycle(top.ev)
 			continue
 		}
-		if deadline >= 0 && ev.at > deadline {
+		if deadline >= 0 && top.at > deadline {
 			break
 		}
 		s.pop()
-		s.now = ev.at
+		ev := top.ev
+		s.now = top.at
 		fn, act, arg, n := ev.fn, ev.act, ev.arg, ev.n
 		s.recycle(ev)
 		s.processed++
@@ -228,13 +278,61 @@ func (s *Simulator) RunUntil(deadline units.Time) {
 	}
 }
 
+// Reset drops every pending event and releases pooled memory beyond roughly
+// one event block, so a simulator that peaked under load does not pin that
+// peak for the rest of its lifetime (long RunAll sweeps hold many finished
+// jobs' simulators until the GC catches up). The clock, sequence counter,
+// and processed/heap-max statistics are preserved: Reset is a memory clamp
+// for a finished run, not a logical restart, and post-run accounting that
+// reads Now() (pause-time collection) must keep working. Outstanding Timer
+// handles become inert; Channels fed by this simulator must not be pushed to
+// afterwards.
+func (s *Simulator) Reset() {
+	for i := range s.heap {
+		ev := s.heap[i].ev
+		ev.gen++
+		ev.fn = nil
+		ev.act = nil
+		ev.arg = nil
+		s.heap[i] = heapEntry{}
+	}
+	s.cancelled = 0
+	if cap(s.heap) > 4096 {
+		s.heap = make([]heapEntry, 0, 1024)
+	} else {
+		s.heap = s.heap[:0]
+	}
+	// Rebuild the free list from the most recently allocated block only:
+	// every retained node pins its whole block, so keeping an arbitrary
+	// subset of a large free list would keep every block alive.
+	if cap(s.free) > eventBlockSize {
+		s.free = make([]*Event, 0, eventBlockSize)
+	} else {
+		for i := range s.free {
+			s.free[i] = nil
+		}
+		s.free = s.free[:0]
+	}
+	for i := range s.lastBlock {
+		s.free = append(s.free, &s.lastBlock[i])
+	}
+}
+
 // The priority queue is a 4-ary min-heap ordered by (at, seq): shallower
 // than a binary heap (fewer cache-missing levels per sift) and wide enough
-// that the four children of a node share a cache line of *Event pointers.
-// Every placement keeps ev.idx in sync so nodes always know their slot.
+// that four children share cache lines. Entries carry the sort key inline,
+// so a sift compares against dense heap memory and never touches the Event
+// nodes it is moving.
 
-// less orders events by time, FIFO within a timestamp.
-func less(a, b *Event) bool {
+// heapEntry is one heap slot: the (at, seq) sort key plus the event it keys.
+type heapEntry struct {
+	at  units.Time
+	seq uint64
+	ev  *Event
+}
+
+// less orders entries by time, FIFO within a timestamp.
+func less(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -243,45 +341,78 @@ func less(a, b *Event) bool {
 
 // push appends ev and sifts it up.
 func (s *Simulator) push(ev *Event) {
-	s.heap = append(s.heap, ev)
-	s.siftUp(len(s.heap)-1, ev)
+	s.heap = append(s.heap, heapEntry{})
+	n := len(s.heap)
+	if n > s.heapMax {
+		s.heapMax = n
+	}
+	s.siftUp(n-1, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
 }
 
-// pop removes and returns the minimum event.
-func (s *Simulator) pop() *Event {
+// pop removes and returns the minimum entry.
+func (s *Simulator) pop() heapEntry {
 	h := s.heap
 	top := h[0]
 	n := len(h) - 1
 	last := h[n]
-	h[n] = nil
+	h[n] = heapEntry{}
 	s.heap = h[:n]
 	if n > 0 {
 		s.siftDown(0, last)
 	}
-	top.idx = -1
 	return top
 }
 
-// siftUp places ev at index i, moving it toward the root while it beats its
-// parent. It writes each displaced node exactly once.
-func (s *Simulator) siftUp(i int, ev *Event) {
+// noteCancel counts a cancellation and compacts the heap once cancelled
+// entries outnumber live ones, so mass cancellation (a sweep tearing down
+// timers) cannot leave the heap bloated until each entry drifts to the top.
+func (s *Simulator) noteCancel() {
+	s.cancelled++
+	if s.cancelled >= compactMinCancelled && s.cancelled*2 > len(s.heap) {
+		s.compact()
+	}
+}
+
+// compact removes every cancelled entry in place and re-heapifies.
+func (s *Simulator) compact() {
+	h := s.heap
+	w := 0
+	for _, e := range h {
+		if e.ev.cancelled {
+			s.recycle(e.ev)
+			continue
+		}
+		h[w] = e
+		w++
+	}
+	for i := w; i < len(h); i++ {
+		h[i] = heapEntry{}
+	}
+	s.heap = h[:w]
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		s.siftDown(i, s.heap[i])
+	}
+	s.cancelled = 0
+}
+
+// siftUp places entry e at index i, moving it toward the root while it beats
+// its parent.
+func (s *Simulator) siftUp(i int, e heapEntry) {
 	h := s.heap
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !less(ev, h[p]) {
+		if !less(e, h[p]) {
 			break
 		}
 		h[i] = h[p]
-		h[i].idx = int32(i)
 		i = p
 	}
-	h[i] = ev
-	ev.idx = int32(i)
+	h[i] = e
 }
 
-// siftDown places ev at index i, moving it toward the leaves while some
+// siftDown places entry e at index i, moving it toward the leaves while some
 // child beats it.
-func (s *Simulator) siftDown(i int, ev *Event) {
+func (s *Simulator) siftDown(i int, e heapEntry) {
 	h := s.heap
 	n := len(h)
 	for {
@@ -299,13 +430,11 @@ func (s *Simulator) siftDown(i int, ev *Event) {
 				m = j
 			}
 		}
-		if !less(h[m], ev) {
+		if !less(h[m], e) {
 			break
 		}
 		h[i] = h[m]
-		h[i].idx = int32(i)
 		i = m
 	}
-	h[i] = ev
-	ev.idx = int32(i)
+	h[i] = e
 }

@@ -82,6 +82,12 @@ type Switch struct {
 	// PFC frames and regenerating PAUSE frames (allocation-free scheduling).
 	pfcAct     swPFCAction
 	refreshAct refreshAction
+
+	// pfcChs buffers received PFC frames through their processing delay,
+	// one channel per ingress port: the delay is constant per port rate and
+	// frames arrive in link order, so each stream is FIFO and holds one
+	// resident heap event regardless of how deep a pause storm gets.
+	pfcChs []sim.Channel
 }
 
 // swPFCAction applies a received PFC frame to an ingress port's egress side
@@ -146,10 +152,14 @@ func New(cfg Config, rates []units.BitRate, props []units.Time) *Switch {
 		charged:    make([]units.ByteSize, cfg.Ports*cfg.Ports),
 		rxBytes:    make([]units.ByteSize, cfg.Ports),
 		refreshing: make([]uint64, cfg.Ports),
+		pfcChs:     make([]sim.Channel, cfg.Ports),
 		pool:       cfg.Pool,
 	}
 	sw.pfcAct = swPFCAction{sw: sw}
 	sw.refreshAct = refreshAction{sw: sw}
+	for i := range sw.pfcChs {
+		sw.pfcChs[i].Init(cfg.Sim, &sw.pfcAct)
+	}
 	for i := 0; i < cfg.Ports; i++ {
 		sw.inputs[i] = input{sw: sw, port: i}
 		sw.eports[i] = &ports[i]
@@ -254,7 +264,7 @@ func (sw *Switch) handlePFC(inPort int, pkt *packet.Packet) {
 	rate := sw.eports[inPort].Rate()
 	n := pkt.FC.Encode() | int64(inPort)<<16
 	pkt.Release()
-	sw.cfg.Sim.ScheduleAction(core.PFCProcessingDelay(rate), &sw.pfcAct, nil, n)
+	sw.pfcChs[inPort].Push(core.PFCProcessingDelay(rate), nil, n)
 }
 
 // PortDeparture implements eport.Hooks: it un-charges the packet from the

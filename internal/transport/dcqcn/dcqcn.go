@@ -75,28 +75,50 @@ type Controller struct {
 	byteEvents  int
 	bytesSent   units.ByteSize
 
-	alphaEv    sim.Timer
-	increaseEv sim.Timer
-	active     bool // in recovery (timers running)
+	// The α and increase timers are coalesced into one deadline-carrying
+	// heap event: alphaAt/increaseAt hold the next deadline of each logical
+	// timer (-1 when idle) and timer is the single armed event, scheduled
+	// for the earliest pending deadline. Restarting a deadline (every CNP)
+	// just overwrites the field — the armed event is never cancelled. It
+	// can only ever be early (deadlines are now+period and the event was
+	// armed at an earlier now), in which case it fires, finds nothing due,
+	// and lazily re-arms at the true minimum. This cuts heap traffic from
+	// two cancel+push pairs per CNP to at most one push per period.
+	timer      sim.Timer
+	alphaAt    units.Time
+	increaseAt units.Time
+	active     bool // in recovery (increase timer logically running)
 
 	cnps int64
 }
 
-// Timer discriminators for the controller's sim.Action events.
-const (
-	alphaTimer    = 0
-	increaseTimer = 1
-)
-
-// Run implements sim.Action, dispatching the controller's two timers; the
-// controller itself is the pre-bound callback, so re-arming a timer never
-// allocates.
-func (c *Controller) Run(_ any, n int64) {
-	if n == alphaTimer {
-		c.alphaTick()
-	} else {
-		c.timerTick()
+// Run implements sim.Action: the coalesced timer event fired. Apply every
+// deadline that is due — α before increase, matching the scheduling order
+// the two separate events had — and re-arm for whatever remains. A stale
+// early fire applies nothing and just re-arms.
+func (c *Controller) Run(_ any, _ int64) {
+	c.timer = sim.Timer{}
+	now := c.sim.Now()
+	if c.alphaAt >= 0 && c.alphaAt <= now {
+		c.alphaTick(now)
 	}
+	if c.increaseAt >= 0 && c.increaseAt <= now {
+		c.timerTick(now)
+	}
+	c.rearm()
+}
+
+// rearm schedules the coalesced event for the earliest pending deadline,
+// unless an armed event already fires at or before it.
+func (c *Controller) rearm() {
+	at := c.alphaAt
+	if at < 0 || (c.increaseAt >= 0 && c.increaseAt < at) {
+		at = c.increaseAt
+	}
+	if at < 0 || c.timer.Active() {
+		return
+	}
+	c.timer = c.sim.AtAction(at, c, nil, 0)
 }
 
 var _ transport.CongestionControl = (*Controller)(nil)
@@ -106,7 +128,8 @@ func New(s *sim.Simulator, p Params) *Controller {
 	if p.LineRate <= 0 {
 		panic("dcqcn: LineRate required")
 	}
-	return &Controller{sim: s, p: p, rc: p.LineRate, rt: p.LineRate, alpha: 1}
+	return &Controller{sim: s, p: p, rc: p.LineRate, rt: p.LineRate, alpha: 1,
+		alphaAt: -1, increaseAt: -1}
 }
 
 // NewFactory adapts New to the transport.Factory shape.
@@ -173,43 +196,44 @@ func (c *Controller) OnCNP(units.Time, *transport.Flow) {
 	c.startTimers()
 }
 
+// startTimers restarts both recovery windows from this CNP. The deadlines
+// are plain field writes; any armed event fires no later than them, so
+// nothing is cancelled or rescheduled while one is in flight.
 func (c *Controller) startTimers() {
 	c.active = true
-	// Restart the α recovery window from this CNP.
-	c.alphaEv.Cancel()
-	c.alphaEv = c.sim.ScheduleAction(c.p.AlphaTimer, c, nil, alphaTimer)
-	c.increaseEv.Cancel()
-	c.increaseEv = c.sim.ScheduleAction(c.p.IncreaseTimer, c, nil, increaseTimer)
+	now := c.sim.Now()
+	c.alphaAt = now + c.p.AlphaTimer
+	c.increaseAt = now + c.p.IncreaseTimer
+	c.rearm()
 }
 
+// stopTimers clears both deadlines; an armed event fires as a stale no-op.
 func (c *Controller) stopTimers() {
 	c.active = false
-	c.alphaEv.Cancel()
-	c.alphaEv = sim.Timer{}
-	c.increaseEv.Cancel()
-	c.increaseEv = sim.Timer{}
+	c.alphaAt = -1
+	c.increaseAt = -1
 }
 
-func (c *Controller) alphaTick() {
+func (c *Controller) alphaTick(now units.Time) {
 	c.alpha *= 1 - c.p.G
 	if c.active || c.alpha > 1e-3 {
-		c.alphaEv = c.sim.ScheduleAction(c.p.AlphaTimer, c, nil, alphaTimer)
+		c.alphaAt = now + c.p.AlphaTimer
 	} else {
-		c.alphaEv = sim.Timer{}
+		c.alphaAt = -1
 	}
 }
 
-func (c *Controller) timerTick() {
+func (c *Controller) timerTick(now units.Time) {
 	if !c.active {
-		c.increaseEv = sim.Timer{}
+		c.increaseAt = -1
 		return
 	}
 	c.timerEvents++
 	c.rateIncrease()
 	if c.active {
-		c.increaseEv = c.sim.ScheduleAction(c.p.IncreaseTimer, c, nil, increaseTimer)
+		c.increaseAt = now + c.p.IncreaseTimer
 	} else {
-		c.increaseEv = sim.Timer{}
+		c.increaseAt = -1
 	}
 }
 
@@ -236,10 +260,11 @@ func (c *Controller) rateIncrease() {
 		c.rc = c.p.LineRate
 		c.rt = c.p.LineRate
 		// Fully recovered: stop timers until the next CNP. α keeps decaying
-		// on its own timer while it remains significant.
+		// on its own deadline while it remains significant.
 		c.stopTimers()
 		if c.alpha > 1e-3 {
-			c.alphaEv = c.sim.ScheduleAction(c.p.AlphaTimer, c, nil, alphaTimer)
+			c.alphaAt = c.sim.Now() + c.p.AlphaTimer
+			c.rearm()
 		}
 	}
 }

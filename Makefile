@@ -6,13 +6,19 @@
 
 GO ?= go
 
-.PHONY: build test race verify lint bench bench-sweep bench-smoke bench-json bench-diff profile
+.PHONY: build test test-serial race verify lint bench bench-sweep bench-smoke bench-json bench-diff profile
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+# The short suite pinned to one scheduler thread: the epoch-barrier LP
+# engine must stay correct (and free of spin-deadlocks) when its workers
+# can only run cooperatively, the worst case for the phase barrier.
+test-serial:
+	GOMAXPROCS=1 $(GO) test -short ./...
 
 # The race leg runs the short-mode suite: every test that spins up the
 # executor (including TestRunAllStress and the short equivalence tests)
@@ -21,7 +27,7 @@ test: build
 race:
 	$(GO) test -race -short ./...
 
-verify: test race
+verify: test test-serial race
 
 # gofmt (fail on any unformatted file) + go vet. CI runs staticcheck on
 # top, advisory, since the repo vendors no tools.
@@ -50,16 +56,18 @@ bench-smoke:
 # high-water), so this target fails on an allocation, event-count, or
 # heap-growth regression.
 bench-json:
-	$(GO) run ./cmd/dshbench -bench-json BENCH_PR4.json
+	$(GO) run ./cmd/dshbench -bench-json BENCH_PR5.json
 
 # Compare two perf reports kernel by kernel; fails when any kernel's ns/op
 # regressed beyond BENCH_TOL. Defaults compare the previous PR's committed
-# report against the current one.
-BENCH_OLD ?= BENCH_PR3.json
-BENCH_NEW ?= BENCH_PR4.json
+# report against the current one. Add `-strict` via BENCH_FLAGS to also
+# enforce the new report's alloc/event/heap budgets.
+BENCH_OLD ?= BENCH_PR4.json
+BENCH_NEW ?= BENCH_PR5.json
 BENCH_TOL ?= 0.3
+BENCH_FLAGS ?=
 bench-diff:
-	$(GO) run ./cmd/dshbench -bench-diff -bench-tolerance $(BENCH_TOL) $(BENCH_OLD) $(BENCH_NEW)
+	$(GO) run ./cmd/dshbench -bench-diff -bench-tolerance $(BENCH_TOL) $(BENCH_FLAGS) $(BENCH_OLD) $(BENCH_NEW)
 
 # CPU + heap profiles of a representative sweep; see README "Profiling a
 # sweep". Override PROFILE_EXP to profile a different experiment.

@@ -16,6 +16,9 @@
 //	-workers N sweep points run concurrently (default: all cores; results
 //	           are identical for any value — see README "Running sweeps in
 //	           parallel")
+//	-lp-workers N  partition each simulation into logical processes and run
+//	           them on N workers (0 = classic single-heap engine; results
+//	           are identical for any N ≥ 1 — see DESIGN.md §9)
 //	-quiet     suppress progress lines
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof heap profile (taken at exit) to F
@@ -39,14 +42,30 @@ func main() {
 	full := flag.Bool("full", false, "run at the paper's scale")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all cores)")
+	lpWorkers := flag.Int("lp-workers", 0, "intra-run LP workers per simulation (0 = classic engine)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	benchJSON := flag.String("bench-json", "", "run the perf kernel suite and write the JSON report to this path ('-' for stdout)")
 	benchDiff := flag.Bool("bench-diff", false, "compare two bench reports: dshbench -bench-diff OLD.json NEW.json (exit 1 on regression)")
 	benchTol := flag.Float64("bench-tolerance", 0.3, "relative ns/op slowdown tolerated by -bench-diff")
+	benchStrict := flag.Bool("strict", false, "with -bench-diff: also fail on allocs/op, events/op, or heap budget violations in the new report")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (at exit) to this path")
 	flag.Usage = usage
 	flag.Parse()
+	for _, bad := range []struct {
+		name string
+		neg  bool
+	}{
+		{"-workers", *workers < 0},
+		{"-lp-workers", *lpWorkers < 0},
+		{"-seed", *seed < 0},
+	} {
+		if bad.neg {
+			fmt.Fprintf(os.Stderr, "dshbench: %s must be non-negative\n\n", bad.name)
+			usage()
+			os.Exit(2)
+		}
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -85,7 +104,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench-diff: want exactly two report paths (old new)")
 			os.Exit(2)
 		}
-		ok, err := runBenchDiff(flag.Arg(0), flag.Arg(1), *benchTol)
+		ok, err := runBenchDiff(flag.Arg(0), flag.Arg(1), *benchTol, *benchStrict)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
 			os.Exit(1)
@@ -100,7 +119,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := dshsim.ExpOptions{Full: *full, Seed: *seed, Workers: *workers}
+	opt := dshsim.ExpOptions{Full: *full, Seed: *seed, Workers: *workers, LPWorkers: *lpWorkers}
 	if !*quiet {
 		// One mutex serialises result lines and progress lines: with
 		// -workers > 1 the progress callback fires from worker goroutines.
@@ -117,11 +136,10 @@ func main() {
 				p.Experiment, p.Done, p.Total,
 				p.Elapsed.Round(time.Millisecond), p.Remaining.Round(time.Millisecond), p.Job)
 		}
-		effective := *workers
-		if effective <= 0 {
-			effective = runtime.GOMAXPROCS(0)
+		fmt.Fprintf(os.Stderr, "# workers: %d\n", dshsim.ResolveWorkers(*workers))
+		if *lpWorkers > 0 {
+			fmt.Fprintf(os.Stderr, "# lp-workers: %d\n", *lpWorkers)
 		}
-		fmt.Fprintf(os.Stderr, "# workers: %d\n", effective)
 	}
 
 	experiments := map[string]func(dshsim.ExpOptions){
@@ -172,8 +190,9 @@ func runBenchJSON(path string) error {
 }
 
 // runBenchDiff compares two bench reports and prints the table; it returns
-// false when any kernel regressed beyond the tolerance.
-func runBenchDiff(oldPath, newPath string, tol float64) (bool, error) {
+// false when any kernel regressed beyond the tolerance or, with strict set,
+// when the new report violates its own checked-in alloc/event/heap budgets.
+func runBenchDiff(oldPath, newPath string, tol float64, strict bool) (bool, error) {
 	load := func(path string) (benchkit.Report, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -193,17 +212,29 @@ func runBenchDiff(oldPath, newPath string, tol float64) (bool, error) {
 	lines := benchkit.Diff(oldR, newR, tol)
 	fmt.Printf("bench-diff %s → %s (tolerance %.0f%%)\n", oldPath, newPath, 100*tol)
 	fmt.Print(benchkit.FormatDiff(oldR, newR, lines, tol))
-	return len(benchkit.Regressions(lines)) == 0, nil
+	ok := len(benchkit.Regressions(lines)) == 0
+	if strict {
+		// Budgets travel inside the report, so strict mode re-validates the
+		// new side: a report generated before a budget regression slipped in
+		// would pass WriteJSON but must still fail the gate here.
+		if err := newR.Validate(); err != nil {
+			fmt.Printf("strict: new report violates budgets: %v\n", err)
+			ok = false
+		}
+	}
+	return ok, nil
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `dshbench regenerates the DSH paper's evaluation figures.
 
-usage: dshbench [-full] [-seed N] [-workers N] [-quiet]
+usage: dshbench [-full] [-seed N] [-workers N] [-lp-workers N] [-quiet]
                 [-cpuprofile F] [-memprofile F] <experiment>
        dshbench -bench-json <path>   run the perf kernels, write a JSON report
-       dshbench -bench-diff [-bench-tolerance T] <old.json> <new.json>
-                                     compare two reports, exit 1 on regression
+       dshbench -bench-diff [-bench-tolerance T] [-strict] <old.json> <new.json>
+                                     compare two reports, exit 1 on ns/op
+                                     regression (-strict also enforces the
+                                     new report's alloc/event/heap budgets)
 
 experiments:
   fig4     Broadcom chip buffer/headroom trends (table)

@@ -128,3 +128,28 @@ func Fig11(b *testing.B) {
 	b.ReportMetric(float64(st.Events())/float64(b.N), "events/op")
 	b.ReportMetric(float64(st.HeapMax()), "heap_max")
 }
+
+// Fig11Point measures one full-scale Fig. 11 burst point (DSH, 60% burst)
+// on the classic single-heap engine. It is the serial baseline for the
+// intra-run parallelism kernel below; collect() derives lp_speedup from the
+// pair.
+func Fig11Point(b *testing.B) { fig11Point(b, 0) }
+
+// Fig11PointLP4 measures the same burst point with the fabric partitioned
+// into per-device logical processes and 4 LP workers driving the
+// epoch-barrier scheduler. Results are bit-identical to the serial kernel's
+// partitioned run by the engine's determinism contract; only wall-clock may
+// differ, and only on a multi-core host.
+func Fig11PointLP4(b *testing.B) { fig11Point(b, 4) }
+
+func fig11Point(b *testing.B, lpWorkers int) {
+	st := &dshsim.SweepStats{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if d := dshsim.Fig11Point(dshsim.DSH, 60, 1, lpWorkers, st); d < 0 {
+			b.Fatal("fig11 point returned a negative pause duration")
+		}
+	}
+	b.ReportMetric(float64(st.Events())/float64(b.N), "events/op")
+	b.ReportMetric(float64(st.HeapMax()), "heap_max")
+}

@@ -10,12 +10,18 @@ import (
 
 // SchemaVersion identifies the report layout. Bump only on breaking field
 // changes; tooling that trends BENCH_PR<n>.json files across PRs keys on it.
-// v2 added events_processed / heap_max and their budgets.
-const SchemaVersion = "dsh-bench/v2"
+// v2 added events_processed / heap_max and their budgets; v3 added num_cpu
+// and the lp_workers / lp_speedup fields of the intra-run parallelism
+// kernels.
+const SchemaVersion = "dsh-bench/v3"
 
-// schemaV1 is the previous layout, still accepted by ReadReport so
-// bench-diff can compare against pre-v2 baselines.
-const schemaV1 = "dsh-bench/v1"
+// schemaV2 and schemaV1 are previous layouts, still accepted by ReadReport
+// so bench-diff can compare against older baselines (absent fields read
+// back as zero).
+const (
+	schemaV2 = "dsh-bench/v2"
+	schemaV1 = "dsh-bench/v1"
+)
 
 // BenchResult is one benchmark's measurement.
 type BenchResult struct {
@@ -36,6 +42,16 @@ type BenchResult struct {
 	AllocBudget   *float64 `json:"alloc_budget,omitempty"`
 	EventBudget   *float64 `json:"event_budget,omitempty"`
 	HeapMaxBudget *float64 `json:"heap_max_budget,omitempty"`
+	// LPWorkers is the intra-run LP worker count the kernel ran with (0 for
+	// the classic single-heap engine). LPSpeedup, set on the parallel
+	// kernel of a serial/parallel pair, is serial ns/op divided by this
+	// kernel's ns/op. LPSpeedupBudget is the speedup floor Validate
+	// enforces; collect() attaches it only on hosts with enough cores for
+	// the comparison to be meaningful (speedupMinCPUs), so a single-core CI
+	// runner records the ratio without gating on it.
+	LPWorkers       int      `json:"lp_workers,omitempty"`
+	LPSpeedup       *float64 `json:"lp_speedup,omitempty"`
+	LPSpeedupBudget *float64 `json:"lp_speedup_budget,omitempty"`
 }
 
 // allocBudgets are the checked-in allocs/op ceilings enforced by Validate.
@@ -45,10 +61,12 @@ type BenchResult struct {
 // CI, while a real regression (a map, closure, or per-flow allocation
 // creeping back onto the hot path) still fails.
 var allocBudgets = map[string]float64{
-	"EventEngine": 0,
-	"Forwarding":  0,
-	"Incast":      199,  // PR 2 baseline 1989; ≥10× cut enforced
-	"Fig11":       6471, // PR 2 baseline 64712; ≥10× cut enforced
+	"EventEngine":   0,
+	"Forwarding":    0,
+	"Incast":        199,  // PR 2 baseline 1989; ≥10× cut enforced
+	"Fig11":         6471, // PR 2 baseline 64712; ≥10× cut enforced
+	"Fig11Point":    290,  // measured 260 (PR 5): one full-scale point
+	"Fig11PointLP4": 1700, // measured 1498 (PR 5): 33 LP sims + mailbox storage
 }
 
 // eventBudgets cap events processed per op. Event counts are deterministic
@@ -56,10 +74,12 @@ var allocBudgets = map[string]float64{
 // measurements: an extra event sneaking into the per-packet path is a real
 // regression, not noise.
 var eventBudgets = map[string]float64{
-	"EventEngine": 1.1,       // exactly 1 dispatch per op
-	"Forwarding":  8.8,       // measured 8.0 (PR 4)
-	"Incast":      6_500,     // measured 5,904 (PR 4)
-	"Fig11":       6_100_000, // measured 5,494,047 (PR 4)
+	"EventEngine":   1.1,       // exactly 1 dispatch per op
+	"Forwarding":    8.8,       // measured 8.0 (PR 4)
+	"Incast":        6_500,     // measured 5,904 (PR 4)
+	"Fig11":         6_100_000, // measured 5,494,047 (PR 4)
+	"Fig11Point":    680_000,   // measured 612,490 (PR 5)
+	"Fig11PointLP4": 690_000,   // measured 616,772 (PR 5); ~0.7% over serial from mailbox re-inserts
 }
 
 // heapMaxBudgets cap the event heap's high-water mark, the observable the
@@ -68,21 +88,40 @@ var eventBudgets = map[string]float64{
 // the PR 4 measurements (heap growth is deterministic but shaped by DWRR
 // interleaving, so a little more slack than the event budgets).
 var heapMaxBudgets = map[string]float64{
-	"EventEngine": 4,  // measured 1 (PR 4)
-	"Forwarding":  10, // measured 7 (PR 4)
-	"Incast":      48, // measured 36 (PR 4); one-event-per-delivery held 333
-	"Fig11":       96, // measured 74 (PR 4); one-event-per-delivery held 445
+	"EventEngine":   4,   // measured 1 (PR 4)
+	"Forwarding":    10,  // measured 7 (PR 4)
+	"Incast":        48,  // measured 36 (PR 4); one-event-per-delivery held 333
+	"Fig11":         96,  // measured 74 (PR 4); one-event-per-delivery held 445
+	"Fig11Point":    96,  // measured 74 (PR 5): same topology as one Fig11 sweep point
+	"Fig11PointLP4": 470, // measured 358 (PR 5): cross-LP packets are heap events, not channel slots
 }
 
 // Report is the schema-stable document emitted by `make bench-json` /
 // `dshbench -bench-json`.
 type Report struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU records the host's core count (v3): the lp_speedup ratio of
+	// the parallel kernels is meaningless without it — on a single-core
+	// runner the partitioned engine can only ever show its overhead.
+	NumCPU     int           `json:"num_cpu"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
+
+// The serial/parallel kernel pair collect() derives lp_speedup from, and
+// the minimum host cores for the speedup floor to be enforced. The floor
+// itself encodes the PR 5 acceptance target for the epoch-barrier engine:
+// with 4 LP workers on a ≥4-core host, the full-scale Fig. 11 point must
+// run ≥1.8× faster than the classic serial engine.
+const (
+	lpSerialKernel   = "Fig11Point"
+	lpParallelKernel = "Fig11PointLP4"
+	speedupMinCPUs   = 4
+)
+
+var lpSpeedupFloor = 1.8
 
 // kernel names a benchmark function for programmatic collection.
 type kernel struct {
@@ -90,12 +129,16 @@ type kernel struct {
 	fn   func(*testing.B)
 }
 
-// defaultKernels is the suite behind Collect, slowest last.
+// defaultKernels is the suite behind Collect, slowest last. The serial and
+// LP-parallel Fig. 11 point kernels are adjacent so the derived lp_speedup
+// compares measurements taken under the same machine conditions.
 func defaultKernels() []kernel {
 	return []kernel{
 		{"EventEngine", EventEngine},
 		{"Forwarding", Forwarding},
 		{"Incast", Incast},
+		{lpSerialKernel, Fig11Point},
+		{lpParallelKernel, Fig11PointLP4},
 		{"Fig11", Fig11},
 	}
 }
@@ -110,6 +153,7 @@ func collect(kernels []kernel) Report {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 	}
 	for _, k := range kernels {
 		r := testing.Benchmark(k.fn)
@@ -133,7 +177,35 @@ func collect(kernels []kernel) Report {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, br)
 	}
+	deriveSpeedup(&rep)
 	return rep
+}
+
+// deriveSpeedup annotates the parallel kernel of the serial/parallel pair
+// with lp_workers and lp_speedup (serial ns/op ÷ parallel ns/op). The
+// speedup floor is attached — and thus enforced by Validate — only when the
+// host has at least speedupMinCPUs cores; with fewer, the ratio is recorded
+// for the trend line but measures only the partitioning overhead.
+func deriveSpeedup(rep *Report) {
+	var serial, par *BenchResult
+	for i := range rep.Benchmarks {
+		switch rep.Benchmarks[i].Name {
+		case lpSerialKernel:
+			serial = &rep.Benchmarks[i]
+		case lpParallelKernel:
+			par = &rep.Benchmarks[i]
+		}
+	}
+	if serial == nil || par == nil || serial.NsPerOp <= 0 || par.NsPerOp <= 0 {
+		return
+	}
+	par.LPWorkers = 4
+	sp := serial.NsPerOp / par.NsPerOp
+	par.LPSpeedup = &sp
+	if rep.NumCPU >= speedupMinCPUs {
+		floor := lpSpeedupFloor
+		par.LPSpeedupBudget = &floor
+	}
 }
 
 // Validate checks the report against the schema contract; CI's bench-smoke
@@ -144,6 +216,9 @@ func (r Report) Validate() error {
 	}
 	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
 		return fmt.Errorf("missing toolchain metadata: %+v", r)
+	}
+	if r.NumCPU <= 0 {
+		return fmt.Errorf("num_cpu %d: lp_speedup is uninterpretable without the host core count", r.NumCPU)
 	}
 	if len(r.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmarks in report")
@@ -176,6 +251,18 @@ func (r Report) Validate() error {
 			return fmt.Errorf("benchmark %s: heap high-water %v exceeds the checked-in budget of %v — something schedules per-packet events outside the delivery channels again",
 				b.Name, b.HeapMax, *b.HeapMaxBudget)
 		}
+		if b.LPSpeedup != nil && *b.LPSpeedup <= 0 {
+			return fmt.Errorf("benchmark %s: lp_speedup %v is not positive", b.Name, *b.LPSpeedup)
+		}
+		if b.LPSpeedupBudget != nil {
+			if b.LPSpeedup == nil {
+				return fmt.Errorf("benchmark %s: lp_speedup_budget set without lp_speedup", b.Name)
+			}
+			if *b.LPSpeedup < *b.LPSpeedupBudget {
+				return fmt.Errorf("benchmark %s: lp_speedup %.2f below the %.2f floor — the epoch-barrier engine stopped scaling (check the phase barrier and LP claim order)",
+					b.Name, *b.LPSpeedup, *b.LPSpeedupBudget)
+			}
+		}
 	}
 	return nil
 }
@@ -191,14 +278,15 @@ func (r Report) WriteJSON(w io.Writer) error {
 }
 
 // ReadReport decodes a report for comparison. It accepts the current schema
-// and v1 (whose engine-counter fields read back as zero), so bench-diff can
-// baseline against reports emitted before the counters existed.
+// plus v2 and v1 (whose newer fields read back as zero), so bench-diff can
+// baseline against reports emitted before the counters or the LP kernels
+// existed.
 func ReadReport(rd io.Reader) (Report, error) {
 	var r Report
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return Report{}, fmt.Errorf("benchkit: parsing report: %w", err)
 	}
-	if r.Schema != SchemaVersion && r.Schema != schemaV1 {
+	if r.Schema != SchemaVersion && r.Schema != schemaV2 && r.Schema != schemaV1 {
 		return Report{}, fmt.Errorf("benchkit: unsupported schema %q", r.Schema)
 	}
 	if len(r.Benchmarks) == 0 {

@@ -100,3 +100,50 @@ func TestValidateAcceptsAtBudget(t *testing.T) {
 		t.Fatalf("Validate rejected an at-budget report: %v", err)
 	}
 }
+
+// TestDeriveSpeedupAndFloor pins the v3 lp_speedup contract: the ratio is
+// derived for the serial/parallel kernel pair, and the ≥1.8× floor is
+// attached (hence enforced) only on hosts with enough cores for the
+// comparison to mean anything.
+func TestDeriveSpeedupAndFloor(t *testing.T) {
+	rep := Report{
+		Schema: SchemaVersion, GoVersion: "go", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 8,
+		Benchmarks: []BenchResult{
+			{Name: lpSerialKernel, Iterations: 1, NsPerOp: 100},
+			{Name: lpParallelKernel, Iterations: 1, NsPerOp: 50},
+		},
+	}
+	deriveSpeedup(&rep)
+	par := rep.Benchmarks[1]
+	if par.LPWorkers != 4 || par.LPSpeedup == nil || *par.LPSpeedup != 2.0 {
+		t.Fatalf("speedup not derived: %+v", par)
+	}
+	if par.LPSpeedupBudget == nil || *par.LPSpeedupBudget != lpSpeedupFloor {
+		t.Fatalf("floor not attached on an 8-core report: %+v", par)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("2.0x on an 8-core host must validate: %v", err)
+	}
+
+	// A parallel kernel slower than 1.8x serial fails on a multi-core host.
+	rep.Benchmarks[1].NsPerOp = 90
+	deriveSpeedup(&rep)
+	if err := rep.Validate(); err == nil {
+		t.Fatal("Validate accepted a below-floor speedup on an 8-core host")
+	}
+
+	// A single-core host records the ratio but never gates on it.
+	rep.NumCPU = 1
+	rep.Benchmarks[1].LPSpeedup, rep.Benchmarks[1].LPSpeedupBudget = nil, nil
+	deriveSpeedup(&rep)
+	if rep.Benchmarks[1].LPSpeedup == nil {
+		t.Fatal("single-core report lost the recorded ratio")
+	}
+	if rep.Benchmarks[1].LPSpeedupBudget != nil {
+		t.Fatal("floor attached on a single-core report")
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("single-core sub-floor ratio must still validate: %v", err)
+	}
+}

@@ -87,6 +87,15 @@ type NetworkConfig struct {
 	// flow control and insurance headroom, demonstrating they are required
 	// for losslessness (see the ablation experiments).
 	DisablePortLevel bool
+	// LPWorkers, when positive, partitions the network into logical
+	// processes (one per switch-plus-attached-hosts group, assigned by the
+	// topology builder) and executes the run on the epoch-barrier parallel
+	// engine with this many workers. Results are deterministic and
+	// independent of the worker count; they follow the partitioned
+	// (at, lp, seq) event order, which can interleave same-timestamp events
+	// differently than a classic run (see DESIGN.md §9). Zero keeps the
+	// classic single-heap engine.
+	LPWorkers int
 	// Seed drives every random choice (ECN coin flips).
 	Seed int64
 }
@@ -103,6 +112,7 @@ func (nc NetworkConfig) build(s *sim.Simulator, done func(*transport.Flow)) topo
 		Alpha:               nc.Alpha,
 		DisablePortLevel:    nc.DisablePortLevel,
 		LinkDelay:           nc.LinkDelay,
+		LPWorkers:           nc.LPWorkers,
 		Seed:                nc.Seed,
 
 		OnFlowDone: done,
@@ -222,8 +232,15 @@ type RunConfig struct {
 	DrainCap units.Time
 	// OnFlowDone is an optional per-completion hook (metrics are always
 	// collected regardless). The *Flow is recycled when the hook returns
-	// and must not be retained.
+	// and must not be retained. On a partitioned network (LPWorkers > 0)
+	// completions fire on LP worker goroutines: the hook can be invoked
+	// concurrently for flows sourced in different LPs and must synchronize
+	// or partition any state it writes.
 	OnFlowDone func(f *Flow)
+	// LPWorkers, when positive, overrides the worker count of a partitioned
+	// network for this run (the partitioning itself is fixed at build time
+	// by NetworkConfig.LPWorkers). The worker count never affects results.
+	LPWorkers int
 }
 
 // Flow re-exports the transport flow for hooks and custom schedules.
@@ -262,45 +279,89 @@ func Run(net *Network, rc RunConfig) *Result {
 	}
 	st.ran = true
 
+	if rc.LPWorkers > 0 && net.Par != nil {
+		net.Par.SetWorkers(rc.LPWorkers)
+	}
+
 	res := &Result{FCT: metrics.NewFCTCollector()}
 
-	// Intern every workload tag up front and preallocate the record slices
-	// from the schedule's per-tag flow counts, so completions never grow a
-	// map or reallocate.
-	tagIDs := make([]int32, len(rc.Specs))
-	tagCounts := make(map[int32]int)
-	for i, sp := range rc.Specs {
-		tagIDs[i] = res.FCT.Intern(sp.Tag)
-		tagCounts[tagIDs[i]]++
-	}
-	for i, sp := range rc.Specs {
-		if n := tagCounts[tagIDs[i]]; n > 0 {
-			res.FCT.Reserve(sp.Tag, n)
-			tagCounts[tagIDs[i]] = 0
+	// Completions are recorded per logical process: flow completion fires on
+	// the source host's LP (worker goroutines in a partitioned run), so each
+	// LP appends to its own collector and the results are merged in LP index
+	// order afterwards. A classic network is the single-LP case whose
+	// collector is res.FCT itself — no merge, identical record order.
+	K := net.LPCount()
+	lpFCT := make([]*metrics.FCTCollector, K)
+	if K == 1 {
+		lpFCT[0] = res.FCT
+	} else {
+		for i := range lpFCT {
+			lpFCT[i] = metrics.NewFCTCollector()
 		}
 	}
 
-	// Flows are materialized lazily at their start time from a pool and
-	// recycled after the completion callback, so steady-state flow churn
-	// allocates only up to the peak number of concurrently live flows.
+	// Intern every workload tag up front — into every collector, in the same
+	// spec order, so a flow's TagID indexes the same tag everywhere — and
+	// preallocate the record slices from the schedule's per-LP per-tag flow
+	// counts, so completions never grow a map or reallocate.
+	tagIDs := make([]int32, len(rc.Specs))
+	type lpTag struct {
+		lp int
+		id int32
+	}
+	tagCounts := make(map[lpTag]int)
+	for i, sp := range rc.Specs {
+		tagIDs[i] = res.FCT.Intern(sp.Tag)
+		if K > 1 {
+			for _, c := range lpFCT {
+				c.Intern(sp.Tag)
+			}
+		}
+		tagCounts[lpTag{net.LPOfNode(sp.Src), tagIDs[i]}]++
+	}
+	for i, sp := range rc.Specs {
+		lt := lpTag{net.LPOfNode(sp.Src), tagIDs[i]}
+		if n := tagCounts[lt]; n > 0 {
+			lpFCT[lt.lp].Reserve(sp.Tag, n)
+			tagCounts[lt] = 0
+		}
+	}
+
+	// Flows are materialized lazily at their start time from a per-LP pool
+	// and recycled after the completion callback, so steady-state flow churn
+	// allocates only up to the peak number of concurrently live flows, and
+	// each pool stays single-goroutine (Get at the coordinator barrier, Put
+	// on the owning LP).
 	starter := &flowStarter{
 		net:     net,
 		specs:   rc.Specs,
 		tagIDs:  tagIDs,
 		factory: newFactory(net, st.nc.Transport, st.nc.baseRTT()),
+		pools:   make([]transport.FlowPool, K),
 	}
 	started := len(rc.Specs)
+	completed := func() int {
+		if K == 1 {
+			return res.FCT.Count("")
+		}
+		n := 0
+		for _, c := range lpFCT {
+			n += c.Count("")
+		}
+		return n
+	}
 	st.done = func(f *transport.Flow) {
-		res.FCT.Record(f)
+		lp := net.LPOfNode(f.Src)
+		lpFCT[lp].Record(f)
 		if rc.OnFlowDone != nil {
 			rc.OnFlowDone(f)
 		}
-		starter.pool.Put(f) // f is invalid from here on
+		starter.pools[lp].Put(f) // f is invalid from here on
 	}
 	for i, sp := range rc.Specs {
 		net.Sim.AtAction(sp.Start, starter, nil, int64(i))
 	}
-	net.Sim.RunUntil(rc.Duration)
+	net.RunUntil(rc.Duration)
 	if rc.Drain {
 		deadline := rc.DrainCap
 		if deadline <= 0 {
@@ -310,8 +371,13 @@ func Run(net *Network, rc RunConfig) *Result {
 		if step <= 0 {
 			step = units.Millisecond
 		}
-		for res.FCT.Count("") < started && net.Sim.Now() < deadline {
-			net.Sim.RunUntil(net.Sim.Now() + step)
+		for completed() < started && net.Sim.Now() < deadline {
+			net.RunUntil(net.Sim.Now() + step)
+		}
+	}
+	if K > 1 {
+		for _, c := range lpFCT {
+			res.FCT.Absorb(c)
 		}
 	}
 	res.Drops = net.Drops()
@@ -324,12 +390,12 @@ func Run(net *Network, rc RunConfig) *Result {
 		}
 	}
 	res.Unfinished = started - res.FCT.Count("")
-	res.Events = net.Sim.Processed()
-	res.HeapMax = net.Sim.HeapMax()
-	// The run is over: clamp the simulator's pooled capacity so parked
+	res.Events = net.Processed()
+	res.HeapMax = net.HeapMax()
+	// The run is over: clamp the simulators' pooled capacity so parked
 	// results of a long parallel sweep don't pin peak-load memory. The
-	// clock survives, so post-Run pause accounting stays correct.
-	net.Sim.Reset()
+	// clocks survive, so post-Run pause accounting stays correct.
+	net.ResetSims()
 	return res
 }
 
@@ -342,13 +408,15 @@ type flowStarter struct {
 	specs   []workload.FlowSpec
 	tagIDs  []int32
 	factory transport.Factory
-	pool    transport.FlowPool
+	// pools holds one flow pool per logical process (a single pool on a
+	// classic network), indexed by the flow's source LP.
+	pools []transport.FlowPool
 }
 
 // Run implements sim.Action.
 func (fs *flowStarter) Run(_ any, n int64) {
 	sp := fs.specs[n]
-	f := fs.pool.Get()
+	f := fs.pools[fs.net.LPOfNode(sp.Src)].Get()
 	f.ID, f.Src, f.Dst = sp.ID, sp.Src, sp.Dst
 	f.Class, f.Size, f.Start, f.Tag = sp.Class, sp.Size, sp.Start, sp.Tag
 	f.TagID = fs.tagIDs[n]
@@ -368,7 +436,8 @@ func newFactory(net *Network, kind TransportKind, baseRTT units.Time) transport.
 			rate := net.Hosts[f.Src].Port().Rate()
 			p := dcqcn.DefaultParams(rate)
 			p.WindowCap = units.BandwidthDelayProduct(rate, baseRTT)
-			return dcqcn.New(net.Sim, p)
+			// The controller's timers must run on the source host's LP.
+			return dcqcn.New(net.SimOf(f.Src), p)
 		}
 	case TransportPowerTCP:
 		return func(f *transport.Flow) transport.CongestionControl {

@@ -49,6 +49,7 @@ func AblationInsurance(opt ExpOptions) []AblationInsuranceRow {
 				Alpha:            4,            // DT barely restrains queues
 				DisablePortLevel: disable,
 				Seed:             seed,
+				LPWorkers:        opt.LPWorkers,
 			}
 			net := NewSingleSwitch(nc, hosts, rate)
 			// 16 senders × 4 classes, all into one port: ~6 MB offered
@@ -101,7 +102,7 @@ func AblationAlpha(opt ExpOptions) []AblationAlphaRow {
 	pcts := []int{5, 10, 20, 30, 40, 50, 60, 70}
 	probes := probePauseFree(opt, "ablation-alpha", len(alphas), pcts,
 		func(point int, scheme Scheme, pct int, seed int64) bool {
-			return pauseFreeBurst(scheme, alphas[point], 8, pct, seed)
+			return pauseFreeBurst(scheme, alphas[point], 8, pct, seed, opt.LPWorkers)
 		})
 	var rows []AblationAlphaRow
 	for ai, a := range alphas {
@@ -129,7 +130,7 @@ func AblationQueueCount(opt ExpOptions) []AblationQueueCountRow {
 	pcts := []int{5, 10, 20, 30, 40, 50}
 	probes := probePauseFree(opt, "ablation-queues", len(classCounts), pcts,
 		func(point int, scheme Scheme, pct int, seed int64) bool {
-			return pauseFreeBurst(scheme, 1.0/16, classCounts[point], pct, seed)
+			return pauseFreeBurst(scheme, 1.0/16, classCounts[point], pct, seed, opt.LPWorkers)
 		})
 	var rows []AblationQueueCountRow
 	for ci, classes := range classCounts {
@@ -179,7 +180,7 @@ func probePauseFree(opt ExpOptions, expID string, points int, pcts []int,
 // (% of buffer) and reports whether the fan-in hosts saw zero pauses.
 // Larger bursts imply pauses for smaller ones, so callers can take the max
 // over an increasing probe sequence.
-func pauseFreeBurst(scheme Scheme, alpha float64, classes int, burstPct int, seed int64) bool {
+func pauseFreeBurst(scheme Scheme, alpha float64, classes int, burstPct int, seed int64, lpWorkers int) bool {
 	const (
 		hosts  = 32
 		rate   = 100 * units.Gbps
@@ -187,7 +188,7 @@ func pauseFreeBurst(scheme Scheme, alpha float64, classes int, burstPct int, see
 	)
 	net := newNet(NetworkConfig{
 		Scheme: scheme, Transport: TransportNone, Buffer: buffer,
-		Alpha: alpha, Seed: seed,
+		Alpha: alpha, Seed: seed, LPWorkers: lpWorkers,
 	}, func(cfg topology.Config) *Network {
 		cfg.Classes = classes
 		cfg.AckClass = classes - 1

@@ -218,7 +218,7 @@ func LoadPointScaled(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad fl
 	duration := 3 * units.Millisecond
 	seed := deriveSeed(opt.Seed, "loadpoint-scaled", leaves*1000+spines, hostsPerLeaf)
 	for _, scheme := range []Scheme{SIH, DSH} {
-		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed}
+		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed, LPWorkers: opt.LPWorkers}
 		nc.bufferHook = paperPressureBuffers
 		ls := NewLeafSpine(nc, leaves, spines, hostsPerLeaf, rate, rate)
 		rng := rand.New(rand.NewSource(seed))
@@ -252,7 +252,7 @@ func runLoadPoint(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad, tota
 	fcts := map[Scheme]map[int]units.Time{}
 	tags := map[int]string{}
 	for _, scheme := range []Scheme{SIH, DSH} {
-		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed}
+		nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed, LPWorkers: opt.LPWorkers}
 		if !opt.Full {
 			nc.bufferHook = paperPressureBuffers
 		} else {
@@ -371,7 +371,7 @@ func Fig5(opt ExpOptions) []Fig5Row {
 		func(i int) string { return fmt.Sprintf("buffer %v", buffers[i]) },
 		func(i int) Fig5Row {
 			buf := buffers[i]
-			nc := NetworkConfig{Scheme: SIH, Transport: TransportPowerTCP, Buffer: buf, Seed: seed}
+			nc := NetworkConfig{Scheme: SIH, Transport: TransportPowerTCP, Buffer: buf, Seed: seed, LPWorkers: opt.LPWorkers}
 			ls := NewLeafSpine(nc, fp.leaves, fp.spines, fp.hostsPerLeaf, fp.rate, fp.rate)
 			rng := rand.New(rand.NewSource(seed))
 			// Fig. 5 uses a pure web-search workload at 90% load (no incast).
@@ -404,7 +404,7 @@ type Fig6Result struct {
 func Fig6(opt ExpOptions) Fig6Result {
 	fp := fabric(opt)
 	seed := deriveSeed(opt.Seed, "fig6", 0, 0)
-	nc := NetworkConfig{Scheme: SIH, Transport: TransportDCQCN, Seed: seed}
+	nc := NetworkConfig{Scheme: SIH, Transport: TransportDCQCN, Seed: seed, LPWorkers: opt.LPWorkers}
 	if !opt.Full {
 		nc.bufferHook = paperPressureBuffers
 	} else {

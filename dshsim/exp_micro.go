@@ -36,6 +36,14 @@ type ExpOptions struct {
 	// event-heap high-water mark) across the harness's runs. Currently
 	// threaded through the Fig11 harness, which benchkit benchmarks.
 	Stats *SweepStats
+	// LPWorkers, when positive, runs every simulation on the partitioned
+	// parallel engine with this many workers per run (intra-run parallelism;
+	// composes with Workers, which parallelizes across sweep points).
+	// Results are deterministic for any positive value — LPWorkers:1 and
+	// LPWorkers:4 are bit-identical — but follow the partitioned event
+	// order, so they may differ from the classic (zero) engine at exact
+	// sampling instants. See NetworkConfig.LPWorkers.
+	LPWorkers int
 
 	// testFabric and testLoads are seams for the in-package parallel≡serial
 	// equivalence tests: they shrink the leaf–spine fabric and the Fig. 14
@@ -84,7 +92,7 @@ func fig11Sweep(opt ExpOptions, fractions []int) []Fig11Row {
 		},
 		func(i int) units.Time {
 			pt, scheme := i/len(schemes), schemes[i%len(schemes)]
-			return fig11Run(scheme, fractions[pt], deriveSeed(opt.Seed, "fig11", pt, 0), opt.Stats)
+			return fig11Run(scheme, fractions[pt], deriveSeed(opt.Seed, "fig11", pt, 0), opt.LPWorkers, opt.Stats)
 		})
 	rows := make([]Fig11Row, len(fractions))
 	for i, pct := range fractions {
@@ -94,13 +102,20 @@ func fig11Sweep(opt ExpOptions, fractions []int) []Fig11Row {
 	return rows
 }
 
-func fig11Run(scheme Scheme, burstPct int, seed int64, stats *SweepStats) units.Time {
+// Fig11Point runs one full-scale Fig. 11 burst point and returns the summed
+// fan-in pause time. Exported for the benchkit serial-vs-parallel speedup
+// kernel; lpWorkers selects the engine exactly like ExpOptions.LPWorkers.
+func Fig11Point(scheme Scheme, burstPct int, seed int64, lpWorkers int, stats *SweepStats) units.Time {
+	return fig11Run(scheme, burstPct, seed, lpWorkers, stats)
+}
+
+func fig11Run(scheme Scheme, burstPct int, seed int64, lpWorkers int, stats *SweepStats) units.Time {
 	const (
 		hosts  = 32
 		rate   = 100 * units.Gbps
 		buffer = 16 * units.MB
 	)
-	nc := NetworkConfig{Scheme: scheme, Transport: TransportNone, Buffer: buffer, Seed: seed}
+	nc := NetworkConfig{Scheme: scheme, Transport: TransportNone, Buffer: buffer, Seed: seed, LPWorkers: lpWorkers}
 	net := NewSingleSwitch(nc, hosts, rate)
 
 	burstTotal := units.ByteSize(float64(buffer) * float64(burstPct) / 100)
@@ -195,7 +210,7 @@ func fig12Campaign(opt ExpOptions, runs, hostsPerLeaf int, upRate units.BitRate,
 		func(i int) units.Time {
 			ti, si, run := split(i)
 			seed := deriveSeed(opt.Seed, "fig12", ti, run)
-			return fig12Run(schemes[si], transports[ti], hostsPerLeaf, upRate, duration, seed)
+			return fig12Run(schemes[si], transports[ti], hostsPerLeaf, upRate, duration, seed, opt.LPWorkers)
 		})
 	var rows []Fig12Row
 	for ti, tr := range transports {
@@ -222,9 +237,9 @@ func fig12Row(scheme Scheme, tr TransportKind, onsets []units.Time) Fig12Row {
 	return row
 }
 
-func fig12Run(scheme Scheme, tr TransportKind, hostsPerLeaf int, upRate units.BitRate, duration units.Time, seed int64) units.Time {
+func fig12Run(scheme Scheme, tr TransportKind, hostsPerLeaf int, upRate units.BitRate, duration units.Time, seed int64, lpWorkers int) units.Time {
 	nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed,
-		BufferPerCapacity: 40 * units.Microsecond}
+		BufferPerCapacity: 40 * units.Microsecond, LPWorkers: lpWorkers}
 	dt := NewDeadlock(nc, hostsPerLeaf, 100*units.Gbps, upRate)
 	det := metrics.NewDeadlockDetector(dt.Network, 50*units.Microsecond, 3)
 	det.Start()
@@ -325,7 +340,7 @@ func Fig13(opt ExpOptions) []Fig13Row {
 			// Both schemes of a transport share the point seed (the seed
 			// only drives ECN coin flips; pairing keeps them comparable).
 			return fig13Run(schemes[i%len(schemes)], transports[ti],
-				deriveSeed(opt.Seed, "fig13", ti, 0))
+				deriveSeed(opt.Seed, "fig13", ti, 0), opt.LPWorkers)
 		})
 	for _, r := range rows {
 		opt.logf("fig13: %s/%-8s min F0 goodput during burst: %v", r.Scheme, r.Transport,
@@ -334,7 +349,7 @@ func Fig13(opt ExpOptions) []Fig13Row {
 	return rows
 }
 
-func fig13Run(scheme Scheme, tr TransportKind, seed int64) Fig13Row {
+func fig13Run(scheme Scheme, tr TransportKind, seed int64, lpWorkers int) Fig13Row {
 	const (
 		fanIn = 24
 		rate  = 100 * units.Gbps
@@ -354,7 +369,7 @@ func fig13Run(scheme Scheme, tr TransportKind, seed int64) Fig13Row {
 	}
 	horizon := burstAt + 600*units.Microsecond
 
-	nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed}
+	nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed, LPWorkers: lpWorkers}
 	cd := NewCollateralUnit(nc, fanIn, rate)
 
 	bgSize := units.BytesInTime(2*horizon, rate)

@@ -1,0 +1,170 @@
+package dshsim
+
+import (
+	"reflect"
+	"testing"
+
+	"dsh/units"
+)
+
+// These tests are the determinism contract of the partitioned engine: for
+// every experiment family, `LPWorkers: 4` must produce results bit-identical
+// to `LPWorkers: 1` — the epoch-barrier scheduler executes the same
+// (at, lp, seq) total order regardless of how many goroutines run the LP
+// windows. They exercise the real experiment entry points at reduced scale;
+// run them under -race to also certify the barrier discipline.
+//
+// Note the baseline is LPWorkers:1, not the classic engine: partitioning
+// changes which simulator owns which event, so same-timestamp interleaving
+// (and with it sampled series) may legitimately differ from LPWorkers:0.
+// The serial-vs-parallel identity below is the guarantee the engine makes.
+
+// lpOpts returns one comparison's serial and parallel option sets. The
+// sweep executor stays serial (Workers:1) so the only varying axis is the
+// intra-run worker count.
+func lpOpts(seed int64) (serial, parallel ExpOptions) {
+	serial = ExpOptions{Seed: seed, Workers: 1, LPWorkers: 1}
+	parallel = ExpOptions{Seed: seed, Workers: 1, LPWorkers: 4}
+	return
+}
+
+func TestLPFig11Equivalence(t *testing.T) {
+	fractions := []int{5, 20, 40}
+	if testing.Short() {
+		fractions = []int{20}
+	}
+	so, po := lpOpts(1)
+	serial := fig11Sweep(so, fractions)
+	parallel := fig11Sweep(po, fractions)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig11 rows differ between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestLPFig12Equivalence(t *testing.T) {
+	runs, duration := 2, 2*units.Millisecond
+	if testing.Short() {
+		runs, duration = 1, units.Millisecond
+	}
+	so, po := lpOpts(3)
+	serial := Fig12Reduced(so, runs, duration)
+	parallel := Fig12Reduced(po, runs, duration)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig12 rows differ between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestLPFig13Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms simulation")
+	}
+	so, po := lpOpts(7)
+	serial := Fig13(so)
+	parallel := Fig13(po)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig13 rows differ between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// tinyLP returns reduced-scale macro options for the LP contract tests.
+func tinyLP(seed int64) (serial, parallel ExpOptions) {
+	tiny := &fabricParams{
+		leaves: 2, spines: 2, hostsPerLeaf: 2,
+		rate: 100 * units.Gbps, duration: units.Millisecond, fanIn: 2,
+	}
+	so, po := lpOpts(seed)
+	so.testFabric, po.testFabric = tiny, tiny
+	so.testLoads, po.testLoads = []float64{0.3, 0.6}, []float64{0.3, 0.6}
+	return so, po
+}
+
+func TestLPFig5Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms macro sweep")
+	}
+	so, po := tinyLP(5)
+	serial := Fig5(so)
+	parallel := Fig5(po)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig5 rows differ between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestLPFig6Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms macro sweep")
+	}
+	so, po := tinyLP(6)
+	serial := Fig6(so)
+	parallel := Fig6(po)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig6 CDFs differ between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestLPFig14Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms macro sweep")
+	}
+	so, po := tinyLP(14)
+	serial := Fig14(so)
+	parallel := Fig14(po)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig14 rows differ between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestLPFig15Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms macro sweep")
+	}
+	so, po := tinyLP(15)
+	serial := Fig15(so)
+	parallel := Fig15(po)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fig15 rows differ between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestLPAblationEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ms simulations")
+	}
+	so, po := lpOpts(21)
+	if !reflect.DeepEqual(AblationInsurance(so), AblationInsurance(po)) {
+		t.Error("ablation-insurance rows differ between LPWorkers:1 and LPWorkers:4")
+	}
+	if !reflect.DeepEqual(AblationQueueCount(so), AblationQueueCount(po)) {
+		t.Error("ablation-queues rows differ between LPWorkers:1 and LPWorkers:4")
+	}
+}
+
+// TestLPRunConfigOverride pins the RunConfig.LPWorkers runtime override: a
+// partitioned network re-run with a different worker count must not change
+// results, and a classic network must ignore the override entirely.
+func TestLPRunConfigOverride(t *testing.T) {
+	run := func(lpBuild, lpRun int) units.Time {
+		nc := NetworkConfig{Scheme: DSH, Transport: TransportNone,
+			Buffer: 16 * units.MB, Seed: 42, LPWorkers: lpBuild}
+		net := NewSingleSwitch(nc, 8, 100*units.Gbps)
+		specs := []FlowSpec{
+			{ID: 1, Src: 0, Dst: 7, Size: 256 * units.KB, Tag: "x"},
+			{ID: 2, Src: 1, Dst: 7, Size: 256 * units.KB, Tag: "x"},
+		}
+		res := Run(net, RunConfig{Specs: specs, Duration: 2 * units.Millisecond, LPWorkers: lpRun})
+		return res.FCT.Avg("x")
+	}
+	if a, b := run(1, 0), run(1, 4); a != b {
+		t.Errorf("partitioned run changed under worker override: %v vs %v", a, b)
+	}
+	if a, b := run(0, 0), run(0, 4); a != b {
+		t.Errorf("classic run affected by LPWorkers override: %v vs %v", a, b)
+	}
+}

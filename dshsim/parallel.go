@@ -72,9 +72,7 @@ func RunAll(jobs []Job, workers int, onProgress func(SweepProgress)) []JobResult
 	if len(jobs) == 0 {
 		return results
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = ResolveWorkers(workers)
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -145,13 +143,19 @@ func RunAll(jobs []Job, workers int, onProgress func(SweepProgress)) []JobResult
 	return results
 }
 
-// workers resolves the effective worker count (0 → all cores).
-func (o ExpOptions) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+// ResolveWorkers resolves a configured worker count to the effective pool
+// size: non-positive values mean runtime.GOMAXPROCS(0), i.e. all cores. It
+// is the single resolution rule for every worker knob (sweep executor,
+// ExpOptions, the dshbench CLI).
+func ResolveWorkers(n int) int {
+	if n > 0 {
+		return n
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// workers resolves the effective sweep worker count.
+func (o ExpOptions) workers() int { return ResolveWorkers(o.Workers) }
 
 // sweep runs n typed jobs through RunAll under the experiment's options:
 // opt.Workers sets the pool size and opt.Progress receives per-job

@@ -177,6 +177,14 @@ type Port struct {
 	txDoneAct  txDoneAction
 	deliverAct deliverAction
 	expiryAct  expiryAction
+	remoteAct  remoteDeliverAction
+
+	// remote, when non-nil, marks this port's wire as crossing a logical-
+	// process boundary: deliveries go through the partitioned engine's
+	// mailbox instead of ch, and arriving packets are re-stamped onto the
+	// receiving LP's pool (rpool) so each pool stays single-goroutine.
+	remote *sim.Remote
+	rpool  *packet.Pool
 
 	// ch buffers in-flight deliveries. The transmitter is non-preemptive
 	// and the propagation delay constant, so delivery times are strictly
@@ -198,6 +206,16 @@ func (a *txDoneAction) Run(any, int64) { a.p.txDone() }
 type deliverAction struct{ p *Port }
 
 func (a *deliverAction) Run(arg any, _ int64) { a.p.deliver(arg.(*packet.Packet)) }
+
+// remoteDeliverAction fires on the *receiving* LP's simulator when a packet's
+// last bit arrives over a cross-LP wire.
+type remoteDeliverAction struct{ p *Port }
+
+func (a *remoteDeliverAction) Run(arg any, _ int64) {
+	pkt := arg.(*packet.Packet)
+	pkt.Repool(a.p.rpool)
+	a.p.deliver(pkt)
+}
 
 // expiryAction fires when a received PAUSE's timer expires (n is the class,
 // or -1 for the port level).
@@ -246,6 +264,18 @@ func NewInto(p *Port, cfg Config) {
 
 // Connect attaches the receiving end of the wire.
 func (p *Port) Connect(peer Receiver) { p.peer = peer }
+
+// ConnectRemote routes this port's deliveries through a cross-LP mailbox:
+// packets are inserted into the receiving LP's event heap at the barrier
+// and re-stamped onto pool (the receiving LP's packet pool) on arrival.
+// Connect must still be called with the peer device. Delivery order and
+// timing are identical to the in-LP channel path; the link's propagation
+// delay must be at least the remote's registered latency.
+func (p *Port) ConnectRemote(r *sim.Remote, pool *packet.Pool) {
+	p.remote = r
+	p.rpool = pool
+	p.remoteAct = remoteDeliverAction{p: p}
+}
 
 // Rate returns the link rate.
 func (p *Port) Rate() units.BitRate { return p.cfg.Rate }
@@ -477,7 +507,11 @@ func (p *Port) transmit(e entry) {
 		panic("eport: transmit before Connect")
 	}
 	if p.up {
-		p.ch.Push(txTime+p.cfg.Prop, pkt, 0)
+		if p.remote != nil {
+			p.remote.Send(txTime+p.cfg.Prop, &p.remoteAct, pkt, 0)
+		} else {
+			p.ch.Push(txTime+p.cfg.Prop, pkt, 0)
+		}
 	}
 }
 

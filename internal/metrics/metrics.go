@@ -77,6 +77,23 @@ func (c *FCTCollector) Record(f *transport.Flow) {
 	c.total++
 }
 
+// Absorb appends every record from other into this collector, interning
+// other's tags as needed. The partitioned run path keeps one collector per
+// logical process (completions land on LP workers) and merges them in LP
+// index order afterwards; per-tag record order then differs from a classic
+// run's completion order, which no consumer depends on (aggregation is by
+// ID map, mean, or sorted percentile).
+func (c *FCTCollector) Absorb(other *FCTCollector) {
+	for i, tag := range other.tags {
+		if len(other.recs[i]) == 0 {
+			continue
+		}
+		id := c.Intern(tag) - 1
+		c.recs[id] = append(c.recs[id], other.recs[i]...)
+		c.total += len(other.recs[i])
+	}
+}
+
 // Count returns completions for a tag ("" sums all tags).
 func (c *FCTCollector) Count(tag string) int {
 	if tag == "" {

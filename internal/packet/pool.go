@@ -92,6 +92,17 @@ func (p *Packet) Release() {
 	p.pool.put(p)
 }
 
+// Repool hands ownership of an in-flight packet to a different pool, so its
+// eventual Release returns it there. The partitioned engine re-stamps every
+// packet crossing a logical-process boundary with the receiving LP's pool:
+// pools stay single-goroutine even though packets migrate. A no-op for
+// unpooled packets.
+func (p *Packet) Repool(pl *Pool) {
+	if p.pool != nil {
+		p.pool = pl
+	}
+}
+
 // Data builds a pooled data packet. Wire size = payload + header overhead.
 func (pl *Pool) Data(flowID, src, dst int, class Class, seq, payload, hdr units.ByteSize) *Packet {
 	p := pl.Get()

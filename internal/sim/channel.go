@@ -68,6 +68,10 @@ func (c *Channel) Init(s *Simulator, sink Action) {
 	c.buf = c.buf0[:]
 	c.head = 0
 	c.n = 0
+	// A channel re-initialised after Simulator.Reset may still believe its
+	// head event is resident on a heap that no longer exists; clearing armed
+	// lets the first Push re-arm.
+	c.armed = false
 }
 
 // Len returns the number of buffered entries (including cancelled ones not

@@ -1,0 +1,584 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"dsh/units"
+)
+
+// Conservative LP-partitioned execution.
+//
+// A Parallel groups one coordinator Simulator with K logical-process (LP)
+// Simulators and runs them under an epoch-barrier conservative schedule:
+// every epoch, all LPs execute their events in parallel up to
+// min(nextEventTime) + lookahead, where the lookahead is the minimum
+// propagation delay over all cross-LP links. Events an LP schedules onto
+// another LP travel through single-writer mailboxes (one per directed LP
+// pair) that are drained at the barrier, so no Simulator is ever touched by
+// two goroutines at once.
+//
+// Determinism is by construction, not by locking discipline. The global
+// event order is (at, lp, seq), realized as (at, seqBase|seq) on the
+// existing heap comparison: the coordinator owns seqBase 0 and each LP i
+// owns seqBase (i+1)<<lpSeqShift, so tagged sequence numbers compare exactly
+// like the lexicographic pair. Cross-LP messages carry the (at, seq) key
+// reserved from the *sending* LP at send time; draining them into the
+// destination heap in any order yields the same execution order because the
+// keys are globally unique and the window rule guarantees they land at or
+// after the destination's epoch limit. Consequently the serial fallback
+// (one worker) and any parallel worker count execute the identical event
+// sequence per LP, bit for bit.
+//
+// Coordinator events — flow starts, samplers, deadlock-detector ticks —
+// run single-threaded between epochs with every LP quiescent and advanced
+// to the event time, and run *before* any LP event at the same timestamp
+// (coordinator tag 0 sorts first). They may read any LP's state and
+// schedule onto any LP at arbitrary non-negative delays; only LP→LP
+// traffic needs the lookahead discipline.
+
+// lpSeqShift splits the 64-bit sequence space into (lp, local seq). 2^48
+// local sequence numbers per LP is ~5 orders of magnitude above the largest
+// run's event count; 2^15 LPs is two above the largest topology.
+const lpSeqShift = 48
+
+// hugeLookahead stands in for "no cross-LP links": the epoch limit is then
+// bounded only by the coordinator's next event and the deadline.
+const hugeLookahead = units.Time(math.MaxInt64 >> 2)
+
+// remoteMsg is one cross-LP event in flight: the full heap key reserved at
+// send time plus the Action payload, inserted into the destination heap at
+// the barrier via atSeq.
+type remoteMsg struct {
+	at  units.Time
+	seq uint64
+	act Action
+	arg any
+	n   int64
+}
+
+// Remote is a single-writer mailbox endpoint for one directed LP pair.
+// Exactly one goroutine (the one running the source LP's window) may call
+// Send at a time, which the epoch scheduler guarantees.
+type Remote struct {
+	par      *Parallel
+	src, dst int32
+	srcSim   *Simulator
+	// minDelay is the link latency registered at creation; Send enforces it
+	// because delays below the global lookahead would violate the window
+	// safety argument.
+	minDelay units.Time
+}
+
+// Send schedules act.Run(arg, n) on the destination LP at now+delay, where
+// now is the source LP's clock. delay must be at least the registered link
+// latency.
+func (r *Remote) Send(delay units.Time, act Action, arg any, n int64) {
+	if delay < r.minDelay {
+		panic(fmt.Sprintf("sim: remote send delay %v below registered link latency %v", delay, r.minDelay))
+	}
+	s := r.srcSim
+	box := &r.par.boxes[int(r.src)*len(r.par.lps)+int(r.dst)]
+	*box = append(*box, remoteMsg{at: s.now + delay, seq: s.reserveSeq(), act: act, arg: arg, n: n})
+}
+
+// phaseDesc is one barrier-delimited unit of parallel work: either "run
+// every LP's window up to limit" or "drain every LP's incoming mailboxes".
+type phaseDesc struct {
+	limit units.Time
+	drain bool
+}
+
+// Parallel is the epoch-barrier scheduler. Build it before the run: create
+// LPs with NewLP, wire cross-LP links with NewRemote, then call RunUntil
+// (repeatedly, with non-decreasing deadlines, to observe intermediate
+// state). The topology is frozen at the first RunUntil.
+type Parallel struct {
+	coord   *Simulator
+	lps     []*Simulator
+	look    units.Time
+	workers int
+
+	// boxes[src*K+dst] is the mailbox for one directed LP pair; senders[dst]
+	// lists the source LPs that ever registered a Remote into dst, so a
+	// barrier drain walks the cross-LP edge list, not all K² pairs.
+	boxes   [][]remoteMsg
+	senders [][]int32
+	remotes []*Remote
+	final   bool
+
+	// order is the LP claim order for a phase, heaviest first so the
+	// long-pole LP starts before the stragglers. It is resorted from
+	// cumulative processed-event counts every 64 epochs; it affects only
+	// wall-clock, never results, because LPs share no state inside a phase.
+	order  []int32
+	epochs uint64
+
+	// The phase barrier is a spin barrier, not a channel: epochs are only a
+	// lookahead wide (~µs of simulated time, ~tens of µs of work), so
+	// parking and waking goroutines per phase would cost as much as the
+	// phase itself. curPhase is published by incrementing phaseSeq (the
+	// atomic add/load pair is the release/acquire edge); workers spin —
+	// yielding periodically so a GOMAXPROCS=1 run still makes progress —
+	// until the sequence moves, execute the phase, and bump done. The
+	// coordinator goroutine participates too, then spins until done reaches
+	// nrun-1. stopFlag, checked after every sequence change, ends the
+	// workers when RunUntil returns.
+	curPhase phaseDesc
+	phaseSeq atomic.Uint64
+	done     atomic.Int64
+	stopFlag atomic.Bool
+	cursor   atomic.Int64
+	nrun     int
+}
+
+// NewParallel returns a scheduler whose coordinator is coord (seqBase 0 —
+// its events sort before any LP event at the same time). workers is the
+// number of goroutines that execute LP phases; values below 1 mean 1, and
+// the count is capped at the LP count per run. The worker count never
+// affects results.
+func NewParallel(coord *Simulator, workers int) *Parallel {
+	if coord.seqBase != 0 {
+		panic("sim: coordinator must be an untagged Simulator")
+	}
+	return &Parallel{coord: coord, look: hugeLookahead, workers: workers}
+}
+
+// NewLP creates and registers the next logical process, returning its
+// simulator and index. LP event-sequence tags start at 1, so the
+// coordinator sorts first at equal timestamps.
+func (p *Parallel) NewLP() (*Simulator, int) {
+	if p.final {
+		panic("sim: NewLP after the first RunUntil")
+	}
+	s := New()
+	s.seqBase = uint64(len(p.lps)+1) << lpSeqShift
+	p.lps = append(p.lps, s)
+	return s, len(p.lps) - 1
+}
+
+// NewRemote registers a directed cross-LP edge from the LP owning src to
+// LP dst, with the link's propagation delay as its latency contribution to
+// the global lookahead. src must be an LP simulator created by NewLP.
+func (p *Parallel) NewRemote(src *Simulator, dst int, latency units.Time) *Remote {
+	if p.final {
+		panic("sim: NewRemote after the first RunUntil")
+	}
+	if latency <= 0 {
+		panic("sim: cross-LP link needs positive latency for lookahead")
+	}
+	srcIdx := int32(-1)
+	for i, s := range p.lps {
+		if s == src {
+			srcIdx = int32(i)
+			break
+		}
+	}
+	if srcIdx < 0 {
+		panic("sim: remote source is not a registered LP")
+	}
+	if dst < 0 || dst >= len(p.lps) {
+		panic("sim: remote destination LP out of range")
+	}
+	if latency < p.look {
+		p.look = latency
+	}
+	r := &Remote{par: p, src: srcIdx, dst: int32(dst), srcSim: src, minDelay: latency}
+	p.remotes = append(p.remotes, r)
+	return r
+}
+
+// SetWorkers changes the worker count for subsequent RunUntil calls.
+func (p *Parallel) SetWorkers(n int) { p.workers = n }
+
+// Workers returns the configured worker count.
+func (p *Parallel) Workers() int { return p.workers }
+
+// LPCount returns the number of registered LPs.
+func (p *Parallel) LPCount() int { return len(p.lps) }
+
+// LP returns the i-th LP's simulator.
+func (p *Parallel) LP(i int) *Simulator { return p.lps[i] }
+
+// Coord returns the coordinator simulator.
+func (p *Parallel) Coord() *Simulator { return p.coord }
+
+// Lookahead returns the epoch window width (the minimum cross-LP link
+// latency), or hugeLookahead when no remotes are registered.
+func (p *Parallel) Lookahead() units.Time { return p.look }
+
+// Processed returns the total events executed across the coordinator and
+// every LP.
+func (p *Parallel) Processed() uint64 {
+	n := p.coord.Processed()
+	for _, s := range p.lps {
+		n += s.Processed()
+	}
+	return n
+}
+
+// HeapMax returns the largest single-simulator heap high-water mark across
+// the coordinator and every LP (heaps are per-LP, so the per-heap peak is
+// the comparable figure).
+func (p *Parallel) HeapMax() int {
+	m := p.coord.HeapMax()
+	for _, s := range p.lps {
+		if h := s.HeapMax(); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// Reset clamps pooled memory on the coordinator and every LP (see
+// Simulator.Reset). Mailboxes are empty after any completed RunUntil.
+func (p *Parallel) Reset() {
+	p.coord.Reset()
+	for _, s := range p.lps {
+		s.Reset()
+	}
+}
+
+// finalize freezes the topology: mailbox storage and the per-destination
+// sender lists are laid out once, from the registered remotes.
+func (p *Parallel) finalize() {
+	if p.final {
+		return
+	}
+	p.final = true
+	k := len(p.lps)
+	p.boxes = make([][]remoteMsg, k*k)
+	p.senders = make([][]int32, k)
+	seen := make(map[int64]bool, len(p.remotes))
+	for _, r := range p.remotes {
+		key := int64(r.src)<<32 | int64(r.dst)
+		if !seen[key] {
+			seen[key] = true
+			p.senders[r.dst] = append(p.senders[r.dst], r.src)
+		}
+	}
+	for _, ss := range p.senders {
+		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	}
+	p.order = make([]int32, k)
+	for i := range p.order {
+		p.order[i] = int32(i)
+	}
+}
+
+// RunUntil executes all coordinator and LP events with timestamps <=
+// deadline (which must be non-negative) and then advances every clock to
+// the deadline, mirroring Simulator.RunUntil semantics.
+func (p *Parallel) RunUntil(deadline units.Time) {
+	if deadline < 0 {
+		panic("sim: Parallel.RunUntil needs a non-negative deadline")
+	}
+	p.finalize()
+	w := p.workers
+	if w > len(p.lps) {
+		w = len(p.lps)
+	}
+	if w < 1 {
+		w = 1
+	}
+	p.nrun = w
+	if w > 1 {
+		p.stopFlag.Store(false)
+		base := p.phaseSeq.Load()
+		for i := 0; i < w-1; i++ {
+			go p.workerLoop(base)
+		}
+	}
+
+	for {
+		// Invariant: every mailbox is empty here, so the heaps hold the
+		// complete pending set and the window decision below is sound.
+		tg := p.coord.peekTime()
+		tlp := units.Time(-1)
+		for _, s := range p.lps {
+			if t := s.peekTime(); t >= 0 && (tlp < 0 || t < tlp) {
+				tlp = t
+			}
+		}
+		next := tg
+		if next < 0 || (tlp >= 0 && tlp < next) {
+			next = tlp
+		}
+		if next < 0 || next > deadline {
+			break
+		}
+		if tg >= 0 && (tlp < 0 || tg <= tlp) {
+			// Coordinator turn: run every coordinator event up to tg with
+			// all LPs quiescent and their clocks advanced to tg, so a flow
+			// start or sampler sees each LP at the barrier time. All LP
+			// events below tg have already executed (tg <= tlp).
+			for _, s := range p.lps {
+				s.advanceTo(tg)
+			}
+			p.coord.RunUntil(tg)
+			p.drainAll()
+			continue
+		}
+		limit := tlp + p.look
+		if limit < tlp { // lookahead sentinel overflow
+			limit = deadline + 1
+		}
+		if tg >= 0 && tg < limit {
+			limit = tg
+		}
+		if limit > deadline+1 {
+			limit = deadline + 1
+		}
+		p.resortMaybe()
+		p.runPhase(phaseDesc{limit: limit})
+		p.runPhase(phaseDesc{drain: true})
+	}
+
+	for _, s := range p.lps {
+		s.advanceTo(deadline)
+	}
+	p.coord.RunUntil(deadline)
+
+	if w > 1 {
+		// Wake every spinning worker with the stop flag up, then join: a
+		// later RunUntil clears stopFlag, and a straggler from this run that
+		// observed the cleared flag would rejoin the new barrier as an extra
+		// participant and corrupt the done count.
+		p.stopFlag.Store(true)
+		p.done.Store(0)
+		p.phaseSeq.Add(1)
+		for p.done.Load() != int64(w-1) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// workerLoop spins for published phases until the run raises stopFlag. seen
+// is the phase sequence at spawn; every later value is a fresh phase (or
+// the stop signal).
+func (p *Parallel) workerLoop(seen uint64) {
+	for {
+		seq := p.phaseSeq.Load()
+		for seq == seen {
+			for i := 0; i < 64 && seq == seen; i++ {
+				seq = p.phaseSeq.Load()
+			}
+			if seq == seen {
+				runtime.Gosched()
+			}
+		}
+		seen = seq
+		if p.stopFlag.Load() {
+			p.done.Add(1) // exit acknowledgement for the RunUntil join
+			return
+		}
+		p.doPhase(p.curPhase)
+		p.done.Add(1)
+	}
+}
+
+// runPhase publishes one phase to every worker (the caller participates)
+// and spin-waits for all of them: the done counter is the epoch barrier
+// that orders mailbox writes before the drains that read them.
+func (p *Parallel) runPhase(ph phaseDesc) {
+	p.cursor.Store(0)
+	if p.nrun > 1 {
+		p.done.Store(0)
+		p.curPhase = ph
+		p.phaseSeq.Add(1) // publishes curPhase/cursor to spinning workers
+		p.doPhase(ph)
+		want := int64(p.nrun - 1)
+		for p.done.Load() != want {
+			for i := 0; i < 64 && p.done.Load() != want; i++ {
+			}
+			if p.done.Load() != want {
+				runtime.Gosched()
+			}
+		}
+	} else {
+		p.doPhase(ph)
+	}
+}
+
+// doPhase claims LPs off the shared cursor until none remain. Claim order
+// follows p.order; which worker runs which LP is immaterial to results.
+func (p *Parallel) doPhase(ph phaseDesc) {
+	k := int64(len(p.lps))
+	for {
+		i := p.cursor.Add(1) - 1
+		if i >= k {
+			return
+		}
+		li := int(p.order[i])
+		if ph.drain {
+			p.drainInto(li)
+		} else {
+			p.lps[li].runWindow(ph.limit)
+		}
+	}
+}
+
+// drainInto moves every pending mailbox message addressed to LP dst into
+// its heap. Only the goroutine that claimed dst touches dst's heap, and the
+// per-destination insert order (source LP order, FIFO within a source) is
+// fixed — not that order matters: the reserved (at, seq) keys alone decide
+// execution order.
+func (p *Parallel) drainInto(dst int) {
+	s := p.lps[dst]
+	k := len(p.lps)
+	for _, src := range p.senders[dst] {
+		box := &p.boxes[int(src)*k+dst]
+		msgs := *box
+		if len(msgs) == 0 {
+			continue
+		}
+		for i := range msgs {
+			m := &msgs[i]
+			s.atSeq(m.at, m.seq, m.act, m.arg, m.n)
+			*m = remoteMsg{}
+		}
+		*box = msgs[:0]
+	}
+}
+
+// drainAll drains every destination on the calling goroutine (coordinator
+// turns run with no workers active).
+func (p *Parallel) drainAll() {
+	for d := range p.lps {
+		p.drainInto(d)
+	}
+}
+
+// resortMaybe periodically reorders LP claiming heaviest-first by
+// cumulative processed events. Deterministic input, deterministic order;
+// and even a different order would change only wall-clock, never results.
+func (p *Parallel) resortMaybe() {
+	p.epochs++
+	if p.epochs&63 != 1 {
+		return
+	}
+	lps := p.lps
+	sort.SliceStable(p.order, func(i, j int) bool {
+		return lps[p.order[i]].processed > lps[p.order[j]].processed
+	})
+}
+
+// runUntilTotalOrder executes the partitioned network one event at a time
+// in the global (at, lp, seq) order, draining mailboxes eagerly after every
+// event. It is the reference implementation the epoch scheduler is
+// property-tested against: same total order, none of the windowing.
+func (p *Parallel) runUntilTotalOrder(deadline units.Time) {
+	if deadline < 0 {
+		panic("sim: runUntilTotalOrder needs a non-negative deadline")
+	}
+	p.finalize()
+	for {
+		p.drainAll()
+		var best *Simulator
+		bt := units.Time(-1)
+		var bseq uint64
+		coord := false
+		consider := func(s *Simulator, isCoord bool) {
+			t := s.peekTime()
+			if t < 0 {
+				return
+			}
+			seq := s.heap[0].seq
+			if bt < 0 || t < bt || (t == bt && seq < bseq) {
+				best, bt, bseq, coord = s, t, seq, isCoord
+			}
+		}
+		consider(p.coord, true)
+		for _, s := range p.lps {
+			consider(s, false)
+		}
+		if best == nil || bt > deadline {
+			break
+		}
+		if coord {
+			// Match the epoch scheduler's coordinator-turn semantics: every
+			// LP clock reads the barrier time during a coordinator event.
+			for _, s := range p.lps {
+				s.advanceTo(bt)
+			}
+		}
+		best.runOne()
+	}
+	for _, s := range p.lps {
+		s.advanceTo(deadline)
+	}
+	p.coord.advanceTo(deadline)
+}
+
+// peekTime returns the due time of the earliest live event, reaping
+// cancelled heads on the way, or -1 when no live event is pending.
+func (s *Simulator) peekTime() units.Time {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if top.ev.cancelled {
+			s.pop()
+			s.cancelled--
+			s.recycle(top.ev)
+			continue
+		}
+		return top.at
+	}
+	return -1
+}
+
+// runWindow executes every event with at < limit. Unlike RunUntil it does
+// not advance the clock to the window edge afterwards: the LP's clock must
+// keep lower-bounding its next event so later, narrower windows and
+// coordinator turns stay valid.
+func (s *Simulator) runWindow(limit units.Time) {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if top.ev.cancelled {
+			s.pop()
+			s.cancelled--
+			s.recycle(top.ev)
+			continue
+		}
+		if top.at >= limit {
+			return
+		}
+		s.pop()
+		ev := top.ev
+		s.now = top.at
+		fn, act, arg, n := ev.fn, ev.act, ev.arg, ev.n
+		s.recycle(ev)
+		s.processed++
+		if fn != nil {
+			fn()
+		} else {
+			act.Run(arg, n)
+		}
+	}
+}
+
+// runOne executes exactly the earliest live event. The caller has already
+// established via peekTime that one exists.
+func (s *Simulator) runOne() {
+	top := s.pop()
+	ev := top.ev
+	s.now = top.at
+	fn, act, arg, n := ev.fn, ev.act, ev.arg, ev.n
+	s.recycle(ev)
+	s.processed++
+	if fn != nil {
+		fn()
+	} else {
+		act.Run(arg, n)
+	}
+}
+
+// advanceTo moves the clock forward to t without executing anything; a
+// no-op when the clock is already past t.
+func (s *Simulator) advanceTo(t units.Time) {
+	if t > s.now {
+		s.now = t
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"dsh/units"
+)
+
+// TestChannelReInitAfterReset pins the sweep-reuse contract: a channel whose
+// simulator was Reset mid-stream (armed head event dropped with the heap,
+// live entries still in the ring) must come back fully functional after
+// Init — the stale armed flag is cleared so the first Push re-arms, and no
+// pre-Reset entry resurfaces.
+func TestChannelReInitAfterReset(t *testing.T) {
+	s := New()
+	var got []rec
+	ch := &Channel{}
+	ch.Init(s, &recSink{s: s, recs: &got, tag: 1})
+	ch.Push(10, nil, 1)
+	ch.Push(20, nil, 2)
+	ch.Push(30, nil, 3)
+	s.RunUntil(15) // deliver the first entry; head for 20 is armed
+	if len(got) != 1 || got[0].n != 1 {
+		t.Fatalf("pre-reset deliveries = %v, want [{10 1}]", got)
+	}
+
+	s.Reset()
+	got = nil
+	ch.Init(s, &recSink{s: s, recs: &got, tag: 2})
+	if ch.Len() != 0 {
+		t.Fatalf("Len after re-Init = %d, want 0", ch.Len())
+	}
+	ch.Push(5, nil, 4)
+	ch.Push(7, nil, 5)
+	s.RunUntil(100)
+	if len(got) != 2 || got[0].n != 4 || got[1].n != 5 || got[0].tag != 2 {
+		t.Errorf("post-reset deliveries = %v, want n=4 then n=5 via the new sink", got)
+	}
+}
+
+// TestChannelRingReuseAcrossJobs models a sweep worker reusing one
+// simulator+channel pair across jobs: grow the ring past the inline buffer
+// in job 1, Reset, re-Init, and run a full job 2 — ordering and delivery
+// must be as if the channel were fresh.
+func TestChannelRingReuseAcrossJobs(t *testing.T) {
+	s := New()
+	var got []rec
+	ch := &Channel{}
+	for job := 1; job <= 2; job++ {
+		got = nil
+		ch.Init(s, &recSink{s: s, recs: &got, tag: job})
+		base := s.Now()
+		for i := 0; i < 3*chanInline; i++ {
+			ch.PushAt(base+units.Time(i), nil, int64(i))
+		}
+		s.RunUntil(base + units.Time(3*chanInline))
+		if len(got) != 3*chanInline {
+			t.Fatalf("job %d: delivered %d, want %d", job, len(got), 3*chanInline)
+		}
+		for i, r := range got {
+			if r.n != int64(i) || r.tag != job {
+				t.Fatalf("job %d: delivery %d = %+v, want n=%d tag=%d", job, i, r, i, job)
+			}
+		}
+		s.Reset()
+	}
+}
+
+// TestTimerAtAfterCancelAndRecycle pins handle safety across the event
+// free-list: a cancelled event's node is recycled for a later event, and the
+// stale Timer must stay inert (Active false, At -1, Cancel a no-op) rather
+// than aliasing the new occupant.
+func TestTimerAtAfterCancelAndRecycle(t *testing.T) {
+	s := New()
+	stale := s.Schedule(50, func() { t.Error("cancelled event fired") })
+	stale.Cancel()
+	if stale.Active() || stale.At() != -1 {
+		t.Fatalf("after cancel: Active=%v At=%v, want false/-1", stale.Active(), stale.At())
+	}
+
+	// Drain the heap so the cancelled node is reaped and recycled, then
+	// schedule fresh events that reuse it.
+	s.RunUntil(60)
+	fired := 0
+	var live []Timer
+	for i := 0; i < 8; i++ {
+		live = append(live, s.Schedule(units.Time(10+i), func() { fired++ }))
+	}
+	if stale.Active() || stale.At() != -1 {
+		t.Errorf("after recycle: stale Active=%v At=%v, want false/-1", stale.Active(), stale.At())
+	}
+	stale.Cancel() // must not cancel the node's new occupant
+	s.RunUntil(200)
+	if fired != 8 {
+		t.Errorf("fired = %d, want 8 (stale handle cancelled a live event)", fired)
+	}
+	for _, tm := range live {
+		if tm.Active() || tm.At() != -1 {
+			t.Errorf("fired timer still active: At=%v", tm.At())
+		}
+	}
+}

@@ -107,6 +107,15 @@ type Simulator struct {
 	processed uint64
 	heapMax   int
 	cancelled int
+
+	// seqBase tags every reserved sequence number with the simulator's
+	// logical-process identity (lp << lpSeqShift, see Parallel). Comparing
+	// tagged sequence numbers is exactly the lexicographic (lp, seq) order,
+	// so the (at, seq) heap comparison implements the partitioned engine's
+	// (at, lp, seq) total order with no extra key material. A standalone
+	// simulator keeps seqBase zero and is bit-identical to the pre-LP
+	// engine.
+	seqBase uint64
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -160,12 +169,13 @@ func (s *Simulator) recycle(ev *Event) {
 	s.free = append(s.free, ev)
 }
 
-// reserveSeq hands out the next global sequence number without scheduling
-// anything. Channels stamp entries with a reserved seq at push time, so the
-// later head re-arm keeps the tie-break position the entry would have had as
-// an ordinary AtAction call.
+// reserveSeq hands out the next sequence number without scheduling
+// anything, tagged with the simulator's LP identity (seqBase). Channels
+// stamp entries with a reserved seq at push time, so the later head re-arm
+// keeps the tie-break position the entry would have had as an ordinary
+// AtAction call.
 func (s *Simulator) reserveSeq() uint64 {
-	q := s.seq
+	q := s.seqBase | s.seq
 	s.seq++
 	return q
 }

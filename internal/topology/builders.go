@@ -9,12 +9,18 @@ import (
 // SingleSwitch builds the Fig. 11a microbenchmark unit: one Tomahawk-like
 // switch with nHosts hosts, one per port, all at the same rate. Host i sits
 // on switch port i.
+//
+// LP partitioning: every node is its own logical process. The switch is
+// the serial bottleneck either way (~half the events), but per-host LPs
+// let the 32 hosts' transmit/receive work spread across workers.
 func SingleSwitch(cfg Config, nHosts int, rate units.BitRate) *Network {
 	cfg.setDefaults()
 	n := newNetwork(cfg)
 	for i := 0; i < nHosts; i++ {
+		n.newLPGroup()
 		n.newHost(rate)
 	}
+	n.newLPGroup()
 	n.newSwitch("s0", uniformRates(nHosts, rate))
 	swNode := n.SwitchNode(0)
 	for i := 0; i < nHosts; i++ {
@@ -42,10 +48,14 @@ func CollateralUnit(cfg Config, fanIn int, rate units.BitRate) *CollateralDamage
 	cfg.setDefaults()
 	n := newNetwork(cfg)
 	// Hosts: 0=H0, 1=H1, 2..fanIn+1 = fan-in senders, then R0, R1.
+	// LP partitioning: every node is its own logical process.
 	for i := 0; i < fanIn+4; i++ {
+		n.newLPGroup()
 		n.newHost(rate)
 	}
+	n.newLPGroup()
 	s0 := n.newSwitch("s0", uniformRates(3, rate))
+	n.newLPGroup()
 	s1 := n.newSwitch("s1", uniformRates(fanIn+3, rate))
 	_, _ = s0, s1
 	s0n, s1n := n.SwitchNode(0), n.SwitchNode(1)
@@ -85,18 +95,25 @@ func Deadlock(cfg Config, hostsPerLeaf int, downRate, upRate units.BitRate) *Dea
 	n := newNetwork(cfg)
 	const leaves, spines = 4, 2
 	dt := &DeadlockTopo{Network: n, LeafHosts: make([][]int, leaves)}
+	// LP partitioning: each leaf switch and its hosts form one LP (host↔leaf
+	// links stay in-process); each spine is its own LP, so only the
+	// leaf↔spine links cross LP boundaries.
+	leafLP := make([]int, leaves)
 	for l := 0; l < leaves; l++ {
+		leafLP[l] = n.newLPGroup()
 		for i := 0; i < hostsPerLeaf; i++ {
 			h := n.newHost(downRate)
 			dt.LeafHosts[l] = append(dt.LeafHosts[l], h.ID())
 		}
 	}
 	for l := 0; l < leaves; l++ {
+		n.useLP(leafLP[l])
 		rates := append(uniformRates(hostsPerLeaf, downRate), upRate, upRate)
 		n.newSwitch(fmt.Sprintf("l%d", l), rates)
 		dt.LeafNode = append(dt.LeafNode, n.SwitchNode(l))
 	}
 	for s := 0; s < spines; s++ {
+		n.newLPGroup()
 		n.newSwitch(fmt.Sprintf("s%d", s), uniformRates(leaves, upRate))
 		dt.SpineNode = append(dt.SpineNode, n.SwitchNode(leaves+s))
 	}
@@ -131,18 +148,24 @@ func LeafSpine(cfg Config, leaves, spines, hostsPerLeaf int, downRate, upRate un
 	cfg.setDefaults()
 	n := newNetwork(cfg)
 	ls := &LeafSpineTopo{Network: n, LeafHosts: make([][]int, leaves)}
+	// LP partitioning: one LP per leaf switch plus its hosts, one per spine
+	// (cross-LP traffic is exactly the leaf↔spine links).
+	leafLP := make([]int, leaves)
 	for l := 0; l < leaves; l++ {
+		leafLP[l] = n.newLPGroup()
 		for i := 0; i < hostsPerLeaf; i++ {
 			h := n.newHost(downRate)
 			ls.LeafHosts[l] = append(ls.LeafHosts[l], h.ID())
 		}
 	}
 	for l := 0; l < leaves; l++ {
+		n.useLP(leafLP[l])
 		rates := append(uniformRates(hostsPerLeaf, downRate), uniformRates(spines, upRate)...)
 		n.newSwitch(fmt.Sprintf("l%d", l), rates)
 		ls.LeafNode = append(ls.LeafNode, n.SwitchNode(l))
 	}
 	for s := 0; s < spines; s++ {
+		n.newLPGroup()
 		n.newSwitch(fmt.Sprintf("s%d", s), uniformRates(leaves, upRate))
 		ls.SpineNode = append(ls.SpineNode, n.SwitchNode(leaves+s))
 	}
@@ -176,10 +199,18 @@ func FatTree(cfg Config, k int, rate units.BitRate) *FatTreeTopo {
 	n := newNetwork(cfg)
 	half := k / 2
 	ft := &FatTreeTopo{Network: n, K: k, PodHosts: make([][]int, k)}
+	// LP partitioning: each edge switch and its half hosts form one LP
+	// (host i of pod p hangs off edge i/half, see the connect loop below);
+	// every aggregation and core switch is its own LP.
+	edgeLP := make([][]int, k)
 	for p := 0; p < k; p++ {
-		for i := 0; i < half*half; i++ {
-			h := n.newHost(rate)
-			ft.PodHosts[p] = append(ft.PodHosts[p], h.ID())
+		edgeLP[p] = make([]int, half)
+		for e := 0; e < half; e++ {
+			edgeLP[p][e] = n.newLPGroup()
+			for i := 0; i < half; i++ {
+				h := n.newHost(rate)
+				ft.PodHosts[p] = append(ft.PodHosts[p], h.ID())
+			}
 		}
 	}
 	// Switch order: per pod (edges then aggs), then cores.
@@ -188,13 +219,16 @@ func FatTree(cfg Config, k int, rate units.BitRate) *FatTreeTopo {
 	coreNode := func(c int) int { return n.SwitchNode(k*k + c) }
 	for p := 0; p < k; p++ {
 		for e := 0; e < half; e++ {
+			n.useLP(edgeLP[p][e])
 			n.newSwitch(fmt.Sprintf("p%de%d", p, e), uniformRates(k, rate))
 		}
 		for a := 0; a < half; a++ {
+			n.newLPGroup()
 			n.newSwitch(fmt.Sprintf("p%da%d", p, a), uniformRates(k, rate))
 		}
 	}
 	for c := 0; c < half*half; c++ {
+		n.newLPGroup()
 		n.newSwitch(fmt.Sprintf("c%d", c), uniformRates(k, rate))
 	}
 	for p := 0; p < k; p++ {

@@ -81,8 +81,22 @@ type Config struct {
 	// CNPInterval is the receiver NP CNP spacing (DCQCN); 0 disables.
 	CNPInterval units.Time
 
-	// OnFlowDone is invoked by hosts when a local flow completes.
+	// OnFlowDone is invoked by hosts when a local flow completes. In a
+	// partitioned network (LPWorkers > 0) completions fire on LP worker
+	// goroutines: the callback may be invoked concurrently for flows whose
+	// sources live in different LPs, and must partition any state it writes
+	// by source LP (see Network.LPOfNode) or synchronize it.
 	OnFlowDone func(f *transport.Flow)
+
+	// LPWorkers, when positive, partitions the fabric into logical
+	// processes (one or more devices per LP, assigned by the builder) and
+	// executes runs on the epoch-barrier parallel engine (sim.Parallel)
+	// with this many workers. Sim becomes the coordinator: flow starts and
+	// samplers scheduled on it run single-threaded at epoch barriers.
+	// Results are deterministic and independent of the worker count, but
+	// follow the partitioned (at, lp, seq) event order, which may interleave
+	// same-timestamp events differently than a classic (LPWorkers == 0) run.
+	LPWorkers int
 
 	Seed int64
 }
@@ -140,9 +154,23 @@ type Network struct {
 	// facade stores its run state here).
 	UserData any
 
+	// Par is the epoch-barrier scheduler when the network is partitioned
+	// (Cfg.LPWorkers > 0); nil for a classic single-heap network. Sim is
+	// then the coordinator and every device runs on its LP's simulator.
+	Par *sim.Parallel
+
 	peers map[endpoint]endpoint
 
 	startAct startFlowAction
+
+	// Per-LP build state (partitioned mode): the simulator and packet pool
+	// each LP's devices are constructed with, the LP of every host and
+	// switch, and the group new devices currently join (see useLP).
+	lpSims   []*sim.Simulator
+	lpPools  []*packet.Pool
+	hostLP   []int32
+	switchLP []int32
+	curLP    int
 }
 
 // NumNodes returns the size of the node-ID space (hosts then switches).
@@ -182,11 +210,132 @@ func (n *Network) inputOf(node, port int) eport.Receiver {
 	return n.Hosts[node].Input()
 }
 
+// Partitioned reports whether the network runs on the parallel engine.
+func (n *Network) Partitioned() bool { return n.Par != nil }
+
+// LPOfNode returns the logical process owning a node (0 when classic).
+func (n *Network) LPOfNode(node int) int {
+	if n.Par == nil {
+		return 0
+	}
+	if n.IsSwitchNode(node) {
+		return int(n.switchLP[node-len(n.Hosts)])
+	}
+	return int(n.hostLP[node])
+}
+
+// LPCount returns the number of logical processes (1 when classic: the
+// whole network is one process on Sim).
+func (n *Network) LPCount() int {
+	if n.Par == nil {
+		return 1
+	}
+	return n.Par.LPCount()
+}
+
+// SimOf returns the simulator a node's device runs on: its LP's simulator
+// in a partitioned network, Sim otherwise. Per-flow machinery that
+// schedules on behalf of a source host (congestion-control timers) must use
+// the source's simulator.
+func (n *Network) SimOf(node int) *sim.Simulator {
+	if n.Par == nil {
+		return n.Sim
+	}
+	return n.lpSims[n.LPOfNode(node)]
+}
+
+// RunUntil advances the whole network to the deadline: the parallel engine
+// in a partitioned network, the single simulator otherwise.
+func (n *Network) RunUntil(deadline units.Time) {
+	if n.Par != nil {
+		n.Par.RunUntil(deadline)
+	} else {
+		n.Sim.RunUntil(deadline)
+	}
+}
+
+// Processed returns total events executed across the network's simulators.
+func (n *Network) Processed() uint64 {
+	if n.Par != nil {
+		return n.Par.Processed()
+	}
+	return n.Sim.Processed()
+}
+
+// HeapMax returns the largest single-simulator heap high-water mark.
+func (n *Network) HeapMax() int {
+	if n.Par != nil {
+		return n.Par.HeapMax()
+	}
+	return n.Sim.HeapMax()
+}
+
+// ResetSims clamps pooled event memory after a finished run (Simulator.Reset
+// across every simulator the network owns).
+func (n *Network) ResetSims() {
+	if n.Par != nil {
+		n.Par.Reset()
+	} else {
+		n.Sim.Reset()
+	}
+}
+
+// newLPGroup opens a fresh logical process and directs subsequent device
+// creation into it, returning its id for later useLP calls. A no-op
+// returning 0 in classic mode, so builders call it unconditionally and
+// device creation order stays identical in both modes.
+func (n *Network) newLPGroup() int {
+	if n.Par == nil {
+		return 0
+	}
+	s, idx := n.Par.NewLP()
+	n.lpSims = append(n.lpSims, s)
+	n.lpPools = append(n.lpPools, packet.NewPool())
+	n.curLP = idx
+	return idx
+}
+
+// useLP directs subsequent device creation into an existing LP group.
+func (n *Network) useLP(id int) {
+	if n.Par == nil {
+		return
+	}
+	n.curLP = id
+}
+
+// buildSim returns the simulator new devices are constructed with.
+func (n *Network) buildSim() *sim.Simulator {
+	if n.Par == nil {
+		return n.Cfg.Sim
+	}
+	return n.lpSims[n.curLP]
+}
+
+// buildPool returns the packet pool new devices are constructed with.
+func (n *Network) buildPool() *packet.Pool {
+	if n.Par == nil {
+		return n.Pool
+	}
+	return n.lpPools[n.curLP]
+}
+
 // connect wires a full-duplex link between two endpoints and records both
-// directions for routing.
+// directions for routing. In a partitioned network a link between LPs
+// becomes a mailbox edge: each direction's deliveries go through a
+// sim.Remote with the link's propagation delay as lookahead, and arriving
+// packets are re-stamped onto the receiving LP's pool.
 func (n *Network) connect(aNode, aPort, bNode, bPort int) {
 	n.portOf(aNode, aPort).Connect(n.inputOf(bNode, bPort))
 	n.portOf(bNode, bPort).Connect(n.inputOf(aNode, aPort))
+	if n.Par != nil {
+		la, lb := n.LPOfNode(aNode), n.LPOfNode(bNode)
+		if la != lb {
+			ra := n.Par.NewRemote(n.lpSims[la], lb, n.Cfg.LinkDelay)
+			n.portOf(aNode, aPort).ConnectRemote(ra, n.lpPools[lb])
+			rb := n.Par.NewRemote(n.lpSims[lb], la, n.Cfg.LinkDelay)
+			n.portOf(bNode, bPort).ConnectRemote(rb, n.lpPools[la])
+		}
+	}
 	n.peers[endpoint{aNode, aPort}] = endpoint{bNode, bPort}
 	n.peers[endpoint{bNode, bPort}] = endpoint{aNode, aPort}
 	n.Links = append(n.Links,
@@ -264,6 +413,9 @@ func newNetwork(cfg Config) *Network {
 		Pool:  packet.NewPool(),
 		peers: make(map[endpoint]endpoint, 64),
 	}
+	if cfg.LPWorkers > 0 {
+		n.Par = sim.NewParallel(cfg.Sim, cfg.LPWorkers)
+	}
 	n.startAct = startFlowAction{n: n}
 	return n
 }
@@ -271,8 +423,11 @@ func newNetwork(cfg Config) *Network {
 // newHost appends a host with the given uplink rate; its ID is its index.
 func (n *Network) newHost(rate units.BitRate) *host.Host {
 	id := len(n.Hosts)
+	if n.Par != nil {
+		n.hostLP = append(n.hostLP, int32(n.curLP))
+	}
 	h := host.New(host.Config{
-		Sim:          n.Cfg.Sim,
+		Sim:          n.buildSim(),
 		ID:           id,
 		Rate:         rate,
 		Prop:         n.Cfg.LinkDelay,
@@ -283,7 +438,7 @@ func (n *Network) newHost(rate units.BitRate) *host.Host {
 		CNPInterval:  n.Cfg.CNPInterval,
 		PauseTimeout: n.Cfg.PauseTimeout,
 		OnFlowDone:   n.Cfg.OnFlowDone,
-		Pool:         n.Pool,
+		Pool:         n.buildPool(),
 	})
 	n.Hosts = append(n.Hosts, h)
 	return h
@@ -293,6 +448,9 @@ func (n *Network) newHost(rate units.BitRate) *host.Host {
 // sized per port from its rate and the uniform link delay (Eq. 1).
 func (n *Network) newSwitch(name string, rates []units.BitRate) *switchdev.Switch {
 	cfg := n.Cfg
+	if n.Par != nil {
+		n.switchLP = append(n.switchLP, int32(n.curLP))
+	}
 	etas := make([]units.ByteSize, len(rates))
 	props := make([]units.Time, len(rates))
 	var maxEta units.ByteSize
@@ -357,7 +515,7 @@ func (n *Network) newSwitch(name string, rates []units.BitRate) *switchdev.Switc
 		panic(fmt.Sprintf("topology: switch %s: %v", name, err))
 	}
 	sw := switchdev.New(switchdev.Config{
-		Sim:          cfg.Sim,
+		Sim:          n.buildSim(),
 		Name:         name,
 		Ports:        len(rates),
 		Classes:      cfg.Classes,
@@ -368,7 +526,7 @@ func (n *Network) newSwitch(name string, rates []units.BitRate) *switchdev.Switc
 		INT:          cfg.INT,
 		PauseTimeout: cfg.PauseTimeout,
 		Seed:         cfg.Seed + int64(len(n.Switches))*7919,
-		Pool:         n.Pool,
+		Pool:         n.buildPool(),
 	}, rates, props)
 	n.Switches = append(n.Switches, sw)
 	return sw

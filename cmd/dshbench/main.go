@@ -7,7 +7,7 @@
 //	dshbench [flags] <experiment>
 //
 // Experiments: fig4, fig5, fig6, fig11, fig12, fig13, fig14, fig15,
-// theorem, all.
+// theorem, fig10, ablation, faults, all.
 //
 // Flags:
 //
@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all cores)")
 	lpWorkers := flag.Int("lp-workers", 0, "intra-run LP workers per simulation (0 = classic engine)")
+	faultsSpec := flag.String("faults", "", "fault scenario JSON for the faults experiment (default: built-in fault classes)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	benchJSON := flag.String("bench-json", "", "run the perf kernel suite and write the JSON report to this path ('-' for stdout)")
 	benchDiff := flag.Bool("bench-diff", false, "compare two bench reports: dshbench -bench-diff OLD.json NEW.json (exit 1 on regression)")
@@ -154,10 +155,16 @@ func main() {
 		"theorem":  runTheorem,
 		"fig10":    runFig10,
 		"ablation": runAblation,
+		"faults":   func(opt dshsim.ExpOptions) { runFaults(opt, *faultsSpec) },
 	}
 	name := flag.Arg(0)
+	if *faultsSpec != "" && name != "faults" && name != "all" {
+		fmt.Fprintf(os.Stderr, "dshbench: -faults only applies to the faults experiment\n\n")
+		usage()
+		os.Exit(2)
+	}
 	if name == "all" {
-		for _, n := range []string{"fig4", "theorem", "fig10", "fig11", "fig13", "fig6", "fig5", "fig12", "fig14", "fig15", "ablation"} {
+		for _, n := range []string{"fig4", "theorem", "fig10", "fig11", "fig13", "fig6", "fig5", "fig12", "fig14", "fig15", "ablation", "faults"} {
 			runOne(n, experiments[n], opt)
 		}
 		return
@@ -229,7 +236,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `dshbench regenerates the DSH paper's evaluation figures.
 
 usage: dshbench [-full] [-seed N] [-workers N] [-lp-workers N] [-quiet]
-                [-cpuprofile F] [-memprofile F] <experiment>
+                [-faults spec.json] [-cpuprofile F] [-memprofile F] <experiment>
        dshbench -bench-json <path>   run the perf kernels, write a JSON report
        dshbench -bench-diff [-bench-tolerance T] [-strict] <old.json> <new.json>
                                      compare two reports, exit 1 on ns/op
@@ -248,6 +255,9 @@ experiments:
   theorem  Theorem 1/2 burst-absorption bounds vs fluid model
   fig10    queue/threshold evolution of the burst-absorption analysis
   ablation design-choice ablations (insurance headroom, DT α, queue count)
+  faults   fault-injection sweep: DSH vs SIH under link flaps, pause storms,
+           slow NICs, latency skew, and routing loops (-faults F replaces the
+           built-in classes with a scenario JSON)
   all      everything above
 `)
 }
@@ -385,6 +395,31 @@ func runAblation(opt dshsim.ExpOptions) {
 	fmt.Printf("  %-8s %10s %10s\n", "classes", "SIH", "DSH")
 	for _, r := range dshsim.AblationQueueCount(opt) {
 		fmt.Printf("  %-8d %9d%% %9d%%\n", r.Classes, r.SIHMaxPct, r.DSHMaxPct)
+	}
+}
+
+func runFaults(opt dshsim.ExpOptions, specPath string) {
+	var rows []dshsim.FaultsRow
+	if specPath != "" {
+		sc, err := dshsim.ParseFaultScenario(specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(1)
+		}
+		rows = dshsim.FaultsWith(opt, &sc)
+	} else {
+		rows = dshsim.Faults(opt)
+	}
+	fmt.Printf("%-9s %-6s %12s %12s %12s %6s %9s %9s %8s %10s\n",
+		"fault", "scheme", "avg bg FCT", "p99 bg FCT", "avg fanin", "unfin", "drops", "wiredrops", "deadlock", "onset")
+	for _, r := range rows {
+		onset := "-"
+		if r.Onset >= 0 {
+			onset = fmt.Sprintf("%.2fms", r.Onset.Milliseconds())
+		}
+		fmt.Printf("%-9s %-6s %12v %12v %12v %6d %9d %9d %8v %10s\n",
+			r.Fault, r.Scheme, r.AvgBgFCT, r.P99BgFCT, r.AvgFaninFCT,
+			r.Unfinished, r.Drops, r.WireDrops, r.Deadlocked, onset)
 	}
 }
 

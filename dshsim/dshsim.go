@@ -17,6 +17,7 @@ package dshsim
 import (
 	"fmt"
 
+	"dsh/internal/fault"
 	"dsh/internal/metrics"
 	"dsh/internal/packet"
 	"dsh/internal/sim"
@@ -96,6 +97,10 @@ type NetworkConfig struct {
 	// differently than a classic run (see DESIGN.md §9). Zero keeps the
 	// classic single-heap engine.
 	LPWorkers int
+	// Faults attaches a fault script to every run on this network
+	// (RunConfig.Faults overrides it per run). Nil injects nothing and the
+	// run is bit-identical to a network built without this field.
+	Faults *FaultScenario
 	// Seed drives every random choice (ECN coin flips).
 	Seed int64
 }
@@ -241,6 +246,20 @@ type RunConfig struct {
 	// network for this run (the partitioning itself is fixed at build time
 	// by NetworkConfig.LPWorkers). The worker count never affects results.
 	LPWorkers int
+	// Faults is the fault script injected into this run; it overrides
+	// NetworkConfig.Faults (experiments build scenarios against node IDs
+	// known only after the topology exists). "On" occurrences are bounded
+	// by Duration; "off" occurrences may land past it and fire during the
+	// drain phase. Fault actions run on the coordinator simulator, so
+	// results stay bit-identical across LPWorkers counts.
+	Faults *FaultScenario
+	// DetectDeadlock arms the cyclic-buffer-dependency scanner; the verdict
+	// lands in Result.Deadlocked / Result.DeadlockOnset.
+	DetectDeadlock bool
+	// DeadlockInterval is the scan period (default 100 µs);
+	// DeadlockConfirm the consecutive-positive-scan threshold (default 3).
+	DeadlockInterval units.Time
+	DeadlockConfirm  int
 }
 
 // Flow re-exports the transport flow for hooks and custom schedules.
@@ -264,6 +283,15 @@ type Result struct {
 	// HeapMax is the high-water mark of the event heap — the scaling
 	// observable of the Channel conversion (see sim.Simulator.HeapMax).
 	HeapMax int
+	// WireDrops counts packets lost to down links (fault-injected flaps);
+	// zero without faults.
+	WireDrops int64
+	// Faults reports what the injector actually did (zero without faults).
+	Faults FaultStats
+	// Deadlocked reports a confirmed PFC deadlock (RunConfig.DetectDeadlock
+	// must be set); DeadlockOnset is its onset time, -1 when none.
+	Deadlocked    bool
+	DeadlockOnset units.Time
 }
 
 // Run executes a flow schedule on a network built by one of the New*
@@ -361,6 +389,26 @@ func Run(net *Network, rc RunConfig) *Result {
 	for i, sp := range rc.Specs {
 		net.Sim.AtAction(sp.Start, starter, nil, int64(i))
 	}
+
+	var inj *fault.Injector
+	if sc := rc.Faults; sc != nil || st.nc.Faults != nil {
+		if sc == nil {
+			sc = st.nc.Faults
+		}
+		var err error
+		if inj, err = fault.NewInjector(net, *sc); err != nil {
+			panic(fmt.Sprintf("dshsim: %v", err))
+		}
+		if err = inj.Start(rc.Duration); err != nil {
+			panic(fmt.Sprintf("dshsim: %v", err))
+		}
+	}
+	var det *metrics.DeadlockDetector
+	if rc.DetectDeadlock {
+		det = metrics.NewDeadlockDetector(net, rc.DeadlockInterval, rc.DeadlockConfirm)
+		det.Start()
+	}
+
 	net.RunUntil(rc.Duration)
 	if rc.Drain {
 		deadline := rc.DrainCap
@@ -392,6 +440,15 @@ func Run(net *Network, rc RunConfig) *Result {
 	res.Unfinished = started - res.FCT.Count("")
 	res.Events = net.Processed()
 	res.HeapMax = net.HeapMax()
+	res.WireDrops = net.WireDrops()
+	if inj != nil {
+		res.Faults = inj.Stats()
+	}
+	res.DeadlockOnset = -1
+	if det != nil {
+		res.Deadlocked = det.Deadlocked()
+		res.DeadlockOnset = det.Onset()
+	}
 	// The run is over: clamp the simulators' pooled capacity so parked
 	// results of a long parallel sweep don't pin peak-load memory. The
 	// clocks survive, so post-Run pause accounting stays correct.

@@ -241,13 +241,11 @@ func fig12Run(scheme Scheme, tr TransportKind, hostsPerLeaf int, upRate units.Bi
 	nc := NetworkConfig{Scheme: scheme, Transport: tr, Seed: seed,
 		BufferPerCapacity: 40 * units.Microsecond, LPWorkers: lpWorkers}
 	dt := NewDeadlock(nc, hostsPerLeaf, 100*units.Gbps, upRate)
-	det := metrics.NewDeadlockDetector(dt.Network, 50*units.Microsecond, 3)
-	det.Start()
-
 	rng := rand.New(rand.NewSource(seed))
 	specs := deadlockWorkload(rng, dt, duration)
-	Run(dt.Network, RunConfig{Specs: specs, Duration: duration})
-	return det.Onset()
+	res := Run(dt.Network, RunConfig{Specs: specs, Duration: duration,
+		DetectDeadlock: true, DeadlockInterval: 50 * units.Microsecond, DeadlockConfirm: 3})
+	return res.DeadlockOnset
 }
 
 // deadlockWorkload generates directed fan-in traffic for the four leaf

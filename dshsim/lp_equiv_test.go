@@ -1,6 +1,7 @@
 package dshsim
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -143,6 +144,62 @@ func TestLPAblationEquivalence(t *testing.T) {
 	}
 	if !reflect.DeepEqual(AblationQueueCount(so), AblationQueueCount(po)) {
 		t.Error("ablation-queues rows differ between LPWorkers:1 and LPWorkers:4")
+	}
+}
+
+// TestLPFaultedFatTreeEquivalence is the determinism contract of the fault
+// layer: a fat-tree run with an ACTIVE scenario (periodic link flap plus a
+// pause storm) must stay bit-identical between LPWorkers 1 and 4. Fault ops
+// are scheduled on the coordinator, which executes single-threaded at epoch
+// barriers in the (at, lp, seq) total order, so the worker count cannot
+// reorder them against LP traffic.
+func TestLPFaultedFatTreeEquivalence(t *testing.T) {
+	type summary struct {
+		AvgBg, AvgFanin units.Time
+		Drops           int64
+		WireDrops       int64
+		PauseFrames     int64
+		Unfinished      int
+		Events          uint64
+		Faults          FaultStats
+		Deadlocked      bool
+		Onset           units.Time
+	}
+	run := func(lp int) summary {
+		const (
+			rate     = 100 * units.Gbps
+			duration = units.Millisecond
+		)
+		nc := NetworkConfig{Scheme: DSH, Transport: TransportDCQCN, Seed: 17,
+			BufferPerCapacity: 40 * units.Microsecond, LPWorkers: lp}
+		ft := NewFatTree(nc, 4, rate)
+		// Pod 0's edge 0 (switch node 16): port 2 faces agg 0 — flap it while
+		// a port-level storm hits agg 0's downlink back to that edge.
+		edge, agg := ft.SwitchNode(0), ft.SwitchNode(2)
+		sc := &FaultScenario{Name: "lp-equiv", Events: []FaultEvent{
+			{Kind: FaultLinkFlap, At: duration / 10, Duration: duration / 20,
+				Period: duration / 4, Node: edge, Port: 2},
+			{Kind: FaultPauseStorm, At: duration / 6, Duration: duration / 8,
+				Node: agg, Port: 0, Class: -1},
+		}}
+		rng := rand.New(rand.NewSource(17))
+		specs := mixedSpecs(rng, ft.PodHosts, WebSearch(), 0.5, 0.8, rate, duration, 4)
+		res := Run(ft.Network, RunConfig{Specs: specs, Duration: duration, Drain: true,
+			Faults: sc, DetectDeadlock: true})
+		return summary{
+			AvgBg: res.FCT.Avg("background"), AvgFanin: res.FCT.Avg("fanin"),
+			Drops: res.Drops, WireDrops: res.WireDrops, PauseFrames: res.PauseFrames,
+			Unfinished: res.Unfinished, Events: res.Events, Faults: res.Faults,
+			Deadlocked: res.Deadlocked, Onset: res.DeadlockOnset,
+		}
+	}
+	serial, parallel := run(1), run(4)
+	if serial != parallel {
+		t.Errorf("faulted fat-tree differs between LPWorkers:1 and LPWorkers:4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	if serial.Faults.Flaps == 0 || serial.Faults.PauseStorms == 0 {
+		t.Errorf("scenario did not inject (stats %+v); equivalence test is vacuous", serial.Faults)
 	}
 }
 

@@ -2,6 +2,7 @@ package dshsim
 
 import (
 	"dsh/internal/analysis"
+	"dsh/internal/fault"
 	"dsh/internal/metrics"
 	"dsh/internal/packet"
 	"dsh/internal/topology"
@@ -24,6 +25,38 @@ type DeadlockDetector = metrics.DeadlockDetector
 // zero confirm to 3 consecutive scans.
 func NewDeadlockDetector(net *topology.Network, interval units.Time, confirm int) *DeadlockDetector {
 	return metrics.NewDeadlockDetector(net, interval, confirm)
+}
+
+// FaultScenario re-exports the declarative fault script (see internal/fault
+// for the JSON format and determinism rules). Attach one to a run via
+// NetworkConfig.Faults or RunConfig.Faults.
+type FaultScenario = fault.Scenario
+
+// FaultEvent re-exports one scripted fault.
+type FaultEvent = fault.Event
+
+// FaultKind re-exports the fault-class name type.
+type FaultKind = fault.Kind
+
+// The five fault classes.
+const (
+	FaultLinkFlap    = fault.LinkFlap
+	FaultPauseStorm  = fault.PauseStorm
+	FaultSlowNIC     = fault.SlowNIC
+	FaultLatencySkew = fault.LatencySkew
+	FaultRewireLoop  = fault.RewireLoop
+)
+
+// FaultStats re-exports the injected-fault counters reported in Result.
+type FaultStats = fault.Stats
+
+// ParseFaultScenario decodes a scenario spec from a JSON file.
+func ParseFaultScenario(path string) (FaultScenario, error) { return fault.ParseFile(path) }
+
+// RandomFaultScenario generates a reproducible scenario of n events over the
+// network's wired links (flaps, storms, slow NICs, skews).
+func RandomFaultScenario(net *Network, seed int64, horizon units.Time, n int) FaultScenario {
+	return fault.Random(net, seed, horizon, n)
 }
 
 // FlowSpec re-exports the scheduled-flow descriptor.

@@ -8,8 +8,10 @@ import "sync/atomic"
 // threads one through ExpOptions.Stats to surface events-processed and
 // heap-high-water numbers per kernel.
 type SweepStats struct {
-	events  atomic.Uint64
-	heapMax atomic.Int64
+	events    atomic.Uint64
+	heapMax   atomic.Int64
+	wireDrops atomic.Int64
+	deadlocks atomic.Int64
 }
 
 // note folds one run's counters in; a nil receiver is a no-op so harness
@@ -19,6 +21,10 @@ func (st *SweepStats) note(res *Result) {
 		return
 	}
 	st.events.Add(res.Events)
+	st.wireDrops.Add(res.WireDrops)
+	if res.Deadlocked {
+		st.deadlocks.Add(1)
+	}
 	for {
 		cur := st.heapMax.Load()
 		if int64(res.HeapMax) <= cur || st.heapMax.CompareAndSwap(cur, int64(res.HeapMax)) {
@@ -32,3 +38,9 @@ func (st *SweepStats) Events() uint64 { return st.events.Load() }
 
 // HeapMax returns the largest event-heap high-water mark across noted runs.
 func (st *SweepStats) HeapMax() int { return int(st.heapMax.Load()) }
+
+// WireDrops returns packets lost to down links across noted runs.
+func (st *SweepStats) WireDrops() int64 { return st.wireDrops.Load() }
+
+// Deadlocks returns how many noted runs confirmed a PFC deadlock.
+func (st *SweepStats) Deadlocks() int64 { return st.deadlocks.Load() }

@@ -34,17 +34,17 @@ func main() {
 			Seed:              7,
 		}, hostsPerLeaf, 100*units.Gbps, 100*units.Gbps)
 
-		det := dshsim.NewDeadlockDetector(dt.Network, 50*units.Microsecond, 3)
-		det.Start()
-
 		specs := fanInPairs(dt, duration)
-		dshsim.Run(dt.Network, dshsim.RunConfig{Specs: specs, Duration: duration})
+		res := dshsim.Run(dt.Network, dshsim.RunConfig{
+			Specs: specs, Duration: duration,
+			DetectDeadlock: true, DeadlockInterval: 50 * units.Microsecond,
+		})
 
 		onset := "-"
-		if det.Deadlocked() {
-			onset = det.Onset().String()
+		if res.Deadlocked {
+			onset = res.DeadlockOnset.String()
 		}
-		fmt.Printf("%-8s %10v %14s\n", scheme, det.Deadlocked(), onset)
+		fmt.Printf("%-8s %10v %14s\n", scheme, res.Deadlocked, onset)
 	}
 }
 

@@ -150,6 +150,24 @@ type Port struct {
 	peer Receiver
 	up   bool
 
+	// epoch counts up→down transitions of the link. Every delivery event
+	// carries the epoch current at transmit time; a packet whose epoch no
+	// longer matches at arrival fell off the wire while the link was down —
+	// even if the link has since come back up — and is dropped instead of
+	// delivered (the stale-delivery guard the fault layer relies on).
+	epoch int64
+
+	// wireDrops counts packets lost to a down link: serialized into a dead
+	// link, invalidated mid-flight by a flap, or arriving while down.
+	wireDrops int64
+
+	// extra is a one-way propagation-delay skew added on top of cfg.Prop
+	// (fault injection: asymmetric latency). lastDeliverAt clamps delivery
+	// times to stay non-decreasing when the skew shrinks, preserving the
+	// wire's FIFO order for the delivery Channel and the peer.
+	extra         units.Time
+	lastDeliverAt units.Time
+
 	ctrl classQueue
 	cls  []classState
 	rr   int
@@ -202,19 +220,20 @@ type txDoneAction struct{ p *Port }
 
 func (a *txDoneAction) Run(any, int64) { a.p.txDone() }
 
-// deliverAction fires when a packet's last bit arrives at the peer.
+// deliverAction fires when a packet's last bit arrives at the peer; n is
+// the link epoch at transmit time.
 type deliverAction struct{ p *Port }
 
-func (a *deliverAction) Run(arg any, _ int64) { a.p.deliver(arg.(*packet.Packet)) }
+func (a *deliverAction) Run(arg any, n int64) { a.p.deliver(arg.(*packet.Packet), n) }
 
 // remoteDeliverAction fires on the *receiving* LP's simulator when a packet's
-// last bit arrives over a cross-LP wire.
+// last bit arrives over a cross-LP wire; n is the link epoch at transmit.
 type remoteDeliverAction struct{ p *Port }
 
-func (a *remoteDeliverAction) Run(arg any, _ int64) {
+func (a *remoteDeliverAction) Run(arg any, n int64) {
 	pkt := arg.(*packet.Packet)
 	pkt.Repool(a.p.rpool)
-	a.p.deliver(pkt)
+	a.p.deliver(pkt, n)
 }
 
 // expiryAction fires when a received PAUSE's timer expires (n is the class,
@@ -286,12 +305,60 @@ func (p *Port) Classes() int { return p.cfg.Classes }
 // Prop returns the link propagation delay.
 func (p *Port) Prop() units.Time { return p.cfg.Prop }
 
-// SetUp marks the link up or down. A down link silently discards packets in
-// flight (the routing layer is expected to avoid failed links).
-func (p *Port) SetUp(up bool) { p.up = up }
+// SetUp marks the link up or down. A down link discards packets in flight
+// (counted by WireDrops); routing is expected to avoid *failed* links, while
+// the fault layer flaps links at runtime on purpose. Every up→down
+// transition advances the link epoch, so a packet that was on the wire when
+// the link dropped is discarded at arrival even if the link has recovered
+// by then — a flap never delivers a stale packet.
+func (p *Port) SetUp(up bool) {
+	if p.up && !up {
+		p.epoch++
+	}
+	p.up = up
+}
 
 // Up reports link status.
 func (p *Port) Up() bool { return p.up }
+
+// WireDrops counts packets this port lost to a down link: serialized while
+// down, invalidated mid-flight by a flap, or arriving while down.
+func (p *Port) WireDrops() int64 { return p.wireDrops }
+
+// SetExtraDelay adds a one-way propagation-delay skew on top of the
+// configured Prop (fault injection). Deliveries already in flight keep
+// their times; when the skew shrinks, subsequent deliveries are clamped so
+// arrival order stays FIFO.
+func (p *Port) SetExtraDelay(d units.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("eport: negative extra delay %v", d))
+	}
+	p.extra = d
+}
+
+// ExtraDelay returns the current one-way delay skew.
+func (p *Port) ExtraDelay() units.Time { return p.extra }
+
+// QueuedPackets counts packets resident in this port's queues: the control
+// queue, every class queue, and a packet being serialized into a down link
+// (which lives nowhere else until txDone releases it). A packet being
+// serialized into an *up* link is already buffered in the delivery channel
+// and is counted by InFlight instead.
+func (p *Port) QueuedPackets() int {
+	n := p.ctrl.len()
+	for i := range p.cls {
+		n += p.cls[i].q.len()
+	}
+	if p.transmitting && p.txDrop {
+		n++
+	}
+	return n
+}
+
+// InFlight counts packets buffered in the in-process delivery channel (on
+// the wire). Cross-LP wires deliver through the partitioned engine's
+// mailboxes instead and are not visible here.
+func (p *Port) InFlight() int { return p.ch.Len() }
 
 // Enqueue appends a data-path packet to its class queue and kicks the
 // transmitter. The cookie is returned through OnDeparture.
@@ -507,10 +574,18 @@ func (p *Port) transmit(e entry) {
 		panic("eport: transmit before Connect")
 	}
 	if p.up {
+		// Arrival time includes any injected delay skew; the clamp keeps
+		// delivery times non-decreasing across skew changes (with zero skew
+		// arrival times are strictly increasing, so it never engages).
+		at := s.Now() + txTime + p.cfg.Prop + p.extra
+		if at < p.lastDeliverAt {
+			at = p.lastDeliverAt
+		}
+		p.lastDeliverAt = at
 		if p.remote != nil {
-			p.remote.Send(txTime+p.cfg.Prop, &p.remoteAct, pkt, 0)
+			p.remote.Send(at-s.Now(), &p.remoteAct, pkt, p.epoch)
 		} else {
-			p.ch.Push(txTime+p.cfg.Prop, pkt, 0)
+			p.ch.PushAt(at, pkt, p.epoch)
 		}
 	}
 }
@@ -531,17 +606,20 @@ func (p *Port) txDone() {
 	if drop {
 		// The link was down when serialization started: the packet fell off
 		// the wire and has no receiver, so the port is its final owner.
+		p.wireDrops++
 		e.pkt.Release()
 	}
 	p.trySend()
 }
 
 // deliver hands a packet whose last bit has crossed the wire to the peer,
-// unless the link went down while it was in flight.
-func (p *Port) deliver(pkt *packet.Packet) {
-	if p.up {
+// unless the link is down or went down while it was in flight (the epoch
+// stamped at transmit no longer matches).
+func (p *Port) deliver(pkt *packet.Packet, epoch int64) {
+	if p.up && epoch == p.epoch {
 		p.peer.Receive(pkt)
 	} else {
+		p.wireDrops++
 		pkt.Release()
 	}
 }

@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"fmt"
+
+	"dsh/internal/eport"
+	"dsh/internal/packet"
+	"dsh/internal/switchdev"
+	"dsh/internal/topology"
+	"dsh/units"
+)
+
+// Stats aggregates what the injector actually did, for Result reporting.
+// Packets dropped on down links are counted separately by the ports
+// themselves (Network.WireDrops).
+type Stats struct {
+	// Flaps counts injected link-down transitions.
+	Flaps int64
+	// PauseStorms counts injected storm onsets; StormPaused is their total
+	// scheduled pause time.
+	PauseStorms int64
+	StormPaused units.Time
+	// SlowNICPaused is the total scheduled drain-stall time over all
+	// slow-NIC duty cycles.
+	SlowNICPaused units.Time
+	// Skews counts latency-skew onsets; Rewires counts route rewrites.
+	Skews   int64
+	Rewires int64
+}
+
+type opCode uint8
+
+const (
+	opLinkDown opCode = iota
+	opLinkUp
+	opStormOn
+	opStormOff
+	opSkewOn
+	opSkewOff
+	opNICPause
+	opNICResume
+	opRewireOn
+	opRewireOff
+)
+
+// op is one compiled fault action: everything resolved at Start time so the
+// run-time handler does no lookups and no allocation (except the rewire
+// wrapper closure, built once per rewire onset).
+type op struct {
+	at   units.Time
+	code opCode
+	// a is the primary target port; b the reverse direction (link flaps).
+	a, b        *eport.Port
+	sw          *switchdev.Switch
+	cls         int        // paused class; -1 = port-level
+	dur         units.Time // storm pause time charged at onset (stats)
+	extra       units.Time
+	dst, toPort int
+	// pair indexes the matching "on" op; its saved route is restored by
+	// opRewireOff.
+	pair  int
+	saved switchdev.Route
+}
+
+// Injector compiles a validated scenario into timer events on the network's
+// coordinator simulator. Build it after the topology is wired and call
+// Start once before the run; horizon bounds open-ended (Duration 0 or
+// Count 0 periodic) events.
+type Injector struct {
+	net     *topology.Network
+	sc      Scenario
+	ops     []op
+	act     injAction
+	stats   Stats
+	started bool
+}
+
+type injAction struct{ inj *Injector }
+
+func (a *injAction) Run(_ any, n int64) { a.inj.run(int(n)) }
+
+// NewInjector validates the scenario against the network.
+func NewInjector(net *topology.Network, sc Scenario) (*Injector, error) {
+	if err := sc.Validate(net); err != nil {
+		return nil, err
+	}
+	inj := &Injector{net: net, sc: sc}
+	inj.act = injAction{inj: inj}
+	return inj, nil
+}
+
+// Scenario returns the script the injector was built from.
+func (inj *Injector) Scenario() Scenario { return inj.sc }
+
+// Stats reports the injected-fault counters accumulated so far.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// Start compiles every event occurrence in [0, horizon] and schedules the
+// resulting ops on net.Sim. "Off" ops may land past the horizon; they fire
+// during the drain phase. Start must be called exactly once, before running.
+func (inj *Injector) Start(horizon units.Time) error {
+	if inj.started {
+		return fmt.Errorf("fault: injector started twice")
+	}
+	inj.started = true
+	if horizon <= 0 {
+		return fmt.Errorf("fault: non-positive horizon %v", horizon)
+	}
+	for _, ev := range inj.sc.Events {
+		if ev.Kind == RewireLoop {
+			// Transient loops can deliver a flow's stragglers after its Last
+			// packet; relax the hosts' strict in-order protocol check.
+			for _, h := range inj.net.Hosts {
+				h.AllowReorder()
+			}
+			break
+		}
+	}
+	for _, ev := range inj.sc.Events {
+		for k := 0; ; k++ {
+			t0 := ev.At + units.Time(k)*ev.Period
+			if t0 > horizon {
+				break
+			}
+			inj.compileOne(ev, t0, horizon)
+			if ev.Period == 0 || (ev.Count > 0 && k+1 >= ev.Count) {
+				break
+			}
+		}
+	}
+	for i := range inj.ops {
+		inj.net.Sim.AtAction(inj.ops[i].at, &inj.act, nil, int64(i))
+	}
+	return nil
+}
+
+// compileOne appends the ops of a single occurrence starting at t0. end is
+// the occurrence's off time (horizon-bounded when Duration is 0, in which
+// case the fault simply persists and needs no off op except for slow-NIC
+// duty cycling, which must stop generating slices somewhere).
+func (inj *Injector) compileOne(ev Event, t0, horizon units.Time) {
+	end := t0 + ev.Duration
+	persist := ev.Duration == 0
+	if persist {
+		end = horizon
+	}
+	switch ev.Kind {
+	case LinkFlap:
+		a := inj.net.PortOf(ev.Node, ev.Port)
+		pn, pp, _ := inj.net.Peer(ev.Node, ev.Port)
+		b := inj.net.PortOf(pn, pp)
+		inj.ops = append(inj.ops, op{at: t0, code: opLinkDown, a: a, b: b})
+		if !persist {
+			inj.ops = append(inj.ops, op{at: end, code: opLinkUp, a: a, b: b})
+		}
+	case PauseStorm:
+		a := inj.net.PortOf(ev.Node, ev.Port)
+		inj.ops = append(inj.ops, op{at: t0, code: opStormOn, a: a, cls: ev.Class, dur: end - t0})
+		if !persist {
+			inj.ops = append(inj.ops, op{at: end, code: opStormOff, a: a, cls: ev.Class})
+		}
+	case LatencySkew:
+		a := inj.net.PortOf(ev.Node, ev.Port)
+		inj.ops = append(inj.ops, op{at: t0, code: opSkewOn, a: a, extra: ev.ExtraDelay})
+		if !persist {
+			inj.ops = append(inj.ops, op{at: end, code: opSkewOff, a: a})
+		}
+	case SlowNIC:
+		// Throttle the switch egress facing the host by duty-cycling a
+		// port-level pause: drain for frac·slice, stall the rest.
+		pn, pp, _ := inj.net.Peer(ev.Node, 0)
+		a := inj.net.PortOf(pn, pp)
+		slice := ev.Slice
+		if slice == 0 {
+			slice = 10 * units.Microsecond
+		}
+		duty := units.Time(float64(slice) * ev.DrainFraction)
+		for s := t0; s < end; s += slice {
+			if duty > 0 {
+				inj.ops = append(inj.ops, op{at: s, code: opNICResume, a: a})
+			}
+			stall := s + duty
+			if stall < end {
+				inj.ops = append(inj.ops, op{at: stall, code: opNICPause, a: a, dur: min(s+slice, end) - stall})
+			}
+		}
+		inj.ops = append(inj.ops, op{at: end, code: opNICResume, a: a})
+	case RewireLoop:
+		sw := inj.net.SwitchByNode(ev.Node)
+		on := len(inj.ops)
+		inj.ops = append(inj.ops, op{at: t0, code: opRewireOn, sw: sw, dst: ev.Dst, toPort: ev.ToPort})
+		if !persist {
+			inj.ops = append(inj.ops, op{at: end, code: opRewireOff, sw: sw, pair: on})
+		}
+	}
+}
+
+// run executes compiled op i. It always fires on the coordinator simulator:
+// single-threaded, every LP quiescent at the op's timestamp.
+func (inj *Injector) run(i int) {
+	o := &inj.ops[i]
+	switch o.code {
+	case opLinkDown:
+		o.a.SetUp(false)
+		o.b.SetUp(false)
+		inj.stats.Flaps++
+	case opLinkUp:
+		o.a.SetUp(true)
+		o.b.SetUp(true)
+	case opStormOn:
+		if o.cls < 0 {
+			o.a.SetPortPaused(true)
+		} else {
+			o.a.SetClassPaused(packet.Class(o.cls), true)
+		}
+		inj.stats.PauseStorms++
+		inj.stats.StormPaused += o.dur
+	case opStormOff:
+		if o.cls < 0 {
+			o.a.SetPortPaused(false)
+		} else {
+			o.a.SetClassPaused(packet.Class(o.cls), false)
+		}
+	case opSkewOn:
+		o.a.SetExtraDelay(o.extra)
+		inj.stats.Skews++
+	case opSkewOff:
+		o.a.SetExtraDelay(0)
+	case opNICPause:
+		o.a.SetPortPaused(true)
+		inj.stats.SlowNICPaused += o.dur
+	case opNICResume:
+		o.a.SetPortPaused(false)
+	case opRewireOn:
+		o.saved = o.sw.Route()
+		orig, dst, to := o.saved, o.dst, o.toPort
+		o.sw.SetRoute(func(pkt *packet.Packet, inPort int) int {
+			if pkt.Dst == dst {
+				return to
+			}
+			return orig(pkt, inPort)
+		})
+		inj.stats.Rewires++
+	case opRewireOff:
+		o.sw.SetRoute(inj.ops[o.pair].saved)
+	}
+}

@@ -102,6 +102,10 @@ type Host struct {
 	recvSlots    []recvSlot
 	recvFree     []int32
 	recvOverflow map[int]*recvState
+	// reorderOK relaxes the stale-slot protocol check: fault scenarios that
+	// rewire routes (transient loops) can deliver a flow's packets after its
+	// Last recycled the slot, which is impossible on a clean FIFO fabric.
+	reorderOK bool
 
 	rxBytes  units.ByteSize
 	rxData   units.ByteSize
@@ -394,9 +398,18 @@ func (h *Host) handleData(pkt *packet.Packet) {
 	if pkt.DstSlot != 0 {
 		slot, gen := slotOf(pkt.DstSlot)
 		if slot < 0 || slot >= len(h.recvSlots) || h.recvSlots[slot].gen != gen {
-			// No retransmissions exist, so data addressed to a recycled
-			// slot is a protocol violation, not a late duplicate.
-			panic(fmt.Sprintf("host %d: stale receive slot on %v", h.cfg.ID, pkt))
+			if !h.reorderOK {
+				// No retransmissions exist, so data addressed to a recycled
+				// slot is a protocol violation, not a late duplicate.
+				panic(fmt.Sprintf("host %d: stale receive slot on %v", h.cfg.ID, pkt))
+			}
+			// A routing-loop fault delivered this straggler after the flow's
+			// Last recycled its slot; count it through the overflow path so
+			// accounting stays conserved (the flow itself cannot complete —
+			// its cumulative count was lost with the slot, which is the
+			// honest outcome of reordering a transport with no retransmit).
+			h.handleOverflowData(pkt)
+			return
 		}
 		e := &h.recvSlots[slot]
 		e.received += pkt.Payload
@@ -406,22 +419,36 @@ func (h *Host) handleData(pkt *packet.Packet) {
 			h.recvFree = append(h.recvFree, int32(slot))
 		}
 	} else {
-		rs := h.recvOverflow[pkt.FlowID]
-		if rs == nil {
-			if h.recvOverflow == nil {
-				h.recvOverflow = make(map[int]*recvState)
-			}
-			rs = &recvState{lastCNP: -1}
-			h.recvOverflow[pkt.FlowID] = rs
-		}
-		rs.received += pkt.Payload
-		h.emitAck(pkt, rs.received, &rs.lastCNP)
-		if pkt.Last {
-			delete(h.recvOverflow, pkt.FlowID)
-		}
+		h.handleOverflowData(pkt)
+		return
 	}
 	pkt.Release()
 }
+
+// handleOverflowData accounts a data packet through the FlowID-keyed map:
+// the slow path for flows that outgrew the slot table, and the landing spot
+// for fault-reordered stragglers whose slot was already recycled.
+func (h *Host) handleOverflowData(pkt *packet.Packet) {
+	rs := h.recvOverflow[pkt.FlowID]
+	if rs == nil {
+		if h.recvOverflow == nil {
+			h.recvOverflow = make(map[int]*recvState)
+		}
+		rs = &recvState{lastCNP: -1}
+		h.recvOverflow[pkt.FlowID] = rs
+	}
+	rs.received += pkt.Payload
+	h.emitAck(pkt, rs.received, &rs.lastCNP)
+	if pkt.Last {
+		delete(h.recvOverflow, pkt.FlowID)
+	}
+	pkt.Release()
+}
+
+// AllowReorder relaxes the stale-slot protocol check for runs whose fault
+// scenario can reorder deliveries (routing-loop rewires). Clean runs keep
+// the strict invariant.
+func (h *Host) AllowReorder() { h.reorderOK = true }
 
 // emitAck enqueues the cumulative ACK for a data packet and, when the
 // packet carries a CE mark, a rate-limited CNP.

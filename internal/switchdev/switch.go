@@ -193,6 +193,10 @@ func (sw *Switch) Port(i int) *eport.Port { return sw.eports[i] }
 // SetRoute installs the forwarding function.
 func (sw *Switch) SetRoute(r Route) { sw.route = r }
 
+// Route returns the installed forwarding function (fault injection wraps and
+// later restores it).
+func (sw *Switch) Route() Route { return sw.route }
+
 // Marks returns the number of ECN-marked packets.
 func (sw *Switch) Marks() int64 { return sw.marks }
 

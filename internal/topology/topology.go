@@ -202,6 +202,10 @@ func (n *Network) portOf(node, port int) *eport.Port {
 	return n.Hosts[node].Port()
 }
 
+// PortOf resolves an endpoint's egress port object (fault injection flips
+// link state and skews latency through it; hosts have only port 0).
+func (n *Network) PortOf(node, port int) *eport.Port { return n.portOf(node, port) }
+
 // inputOf resolves an endpoint's receiver.
 func (n *Network) inputOf(node, port int) eport.Receiver {
 	if n.IsSwitchNode(node) {
@@ -401,6 +405,22 @@ func (n *Network) Drops() int64 {
 	var total int64
 	for _, sw := range n.Switches {
 		total += sw.MMU().Drops()
+	}
+	return total
+}
+
+// WireDrops sums packets lost on down links (serialized into a dead link,
+// invalidated mid-flight by a flap, or arriving while down) over every port
+// in the network.
+func (n *Network) WireDrops() int64 {
+	var total int64
+	for _, h := range n.Hosts {
+		total += h.Port().WireDrops()
+	}
+	for _, sw := range n.Switches {
+		for i := 0; i < sw.Ports(); i++ {
+			total += sw.Port(i).WireDrops()
+		}
 	}
 	return total
 }

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-serial race verify lint bench bench-sweep bench-smoke bench-json bench-diff profile
+.PHONY: build test test-serial race verify lint bench bench-sweep bench-smoke bench-json bench-diff serve-smoke profile
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,15 @@ BENCH_TOL ?= 0.3
 BENCH_FLAGS ?=
 bench-diff:
 	$(GO) run ./cmd/dshbench -bench-diff -bench-tolerance $(BENCH_TOL) $(BENCH_FLAGS) $(BENCH_OLD) $(BENCH_NEW)
+
+# End-to-end smoke of the sweep service: build dshserve and dshbench,
+# start the server on a random port, run a fig11 job, assert the identical
+# resubmitted spec is a cache hit (response flag + /metrics counters) and
+# that the server result is byte-identical to `dshbench -json`, then
+# SIGTERM and assert a clean drain with the queue checkpoint written.
+# Artifacts (server log, metrics scrape, result bodies) land in serve-smoke/.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # CPU + heap profiles of a representative sweep; see README "Profiling a
 # sweep". Override PROFILE_EXP to profile a different experiment.

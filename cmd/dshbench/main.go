@@ -20,6 +20,8 @@
 //	           them on N workers (0 = classic single-heap engine; results
 //	           are identical for any N ≥ 1 — see DESIGN.md §9)
 //	-quiet     suppress progress lines
+//	-json      print the experiment's canonical result JSON (the dshserve
+//	           result format) instead of tables
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof heap profile (taken at exit) to F
 package main
@@ -35,6 +37,7 @@ import (
 
 	"dsh/dshsim"
 	"dsh/dshsim/benchkit"
+	"dsh/internal/serve"
 	"dsh/units"
 )
 
@@ -45,6 +48,7 @@ func main() {
 	lpWorkers := flag.Int("lp-workers", 0, "intra-run LP workers per simulation (0 = classic engine)")
 	faultsSpec := flag.String("faults", "", "fault scenario JSON for the faults experiment (default: built-in fault classes)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	jsonOut := flag.Bool("json", false, "print the experiment's canonical result JSON (the dshserve result format) instead of tables")
 	benchJSON := flag.String("bench-json", "", "run the perf kernel suite and write the JSON report to this path ('-' for stdout)")
 	benchDiff := flag.Bool("bench-diff", false, "compare two bench reports: dshbench -bench-diff OLD.json NEW.json (exit 1 on regression)")
 	benchTol := flag.Float64("bench-tolerance", 0.3, "relative ns/op slowdown tolerated by -bench-diff")
@@ -163,6 +167,36 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *jsonOut {
+		// The canonical JSON path is serve.Execute — the exact function the
+		// dshserve workers run — so this output is byte-identical to the
+		// server's /results body for the same spec.
+		if name == "all" {
+			fmt.Fprintln(os.Stderr, "dshbench: -json takes a single experiment family, not 'all'")
+			os.Exit(2)
+		}
+		if !dshsim.IsFamily(name) {
+			fmt.Fprintf(os.Stderr, "dshbench: unknown experiment %q\n\n", name)
+			usage()
+			os.Exit(2)
+		}
+		sp := serve.Spec{Family: name, Full: *full, Seed: *seed, Workers: *workers, LPWorkers: *lpWorkers}
+		if *faultsSpec != "" {
+			sc, err := dshsim.ParseFaultScenario(*faultsSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dshbench: faults: %v\n", err)
+				os.Exit(1)
+			}
+			sp.Faults = &sc
+		}
+		data, err := serve.Execute(sp, serve.CodeVersion(), opt.Progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
+	}
 	if name == "all" {
 		for _, n := range []string{"fig4", "theorem", "fig10", "fig11", "fig13", "fig6", "fig5", "fig12", "fig14", "fig15", "ablation", "faults"} {
 			runOne(n, experiments[n], opt)
@@ -237,6 +271,9 @@ func usage() {
 
 usage: dshbench [-full] [-seed N] [-workers N] [-lp-workers N] [-quiet]
                 [-faults spec.json] [-cpuprofile F] [-memprofile F] <experiment>
+       dshbench -json <experiment>   print the canonical result JSON (the
+                                     dshserve result format; byte-identical
+                                     to the server's /results body)
        dshbench -bench-json <path>   run the perf kernels, write a JSON report
        dshbench -bench-diff [-bench-tolerance T] [-strict] <old.json> <new.json>
                                      compare two reports, exit 1 on ns/op

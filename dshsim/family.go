@@ -1,0 +1,113 @@
+package dshsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the experiment-family registry: a single name → harness
+// mapping shared by the dshbench CLI and the dshserve sweep service. A
+// "family" is one figure/table of the evaluation (fig5, fig11, faults, …)
+// run end to end under ExpOptions; RunFamily returns the same typed rows
+// the exported harness functions return, wrapped as `any` so callers that
+// only encode the result (the server, dshbench -json) need no per-family
+// code.
+//
+// Registry results must stay JSON-encodable and deterministic for a fixed
+// (family, Full, Seed, faults) tuple: the sweep service content-addresses
+// them and serves cached bytes forever, so a family whose output depended
+// on worker count or wall clock would poison the cache. Fig6 is the one
+// harness whose natural result (a *metrics.CDF with unexported samples)
+// does not marshal; the registry returns a Fig6Summary instead.
+
+// Fig6Quantile is one point of the headroom-utilization summary.
+type Fig6Quantile struct {
+	P           float64
+	Utilization float64
+}
+
+// Fig6Summary is the JSON-encodable form of Fig6Result: the sample count
+// and the utilization CDF evaluated on the quantile grid dshbench prints.
+type Fig6Summary struct {
+	Samples   int
+	Quantiles []Fig6Quantile
+}
+
+// fig6QuantileGrid is the fixed grid the summary (and dshbench) reports.
+var fig6QuantileGrid = []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1.0}
+
+// Summary collapses the utilization CDF onto the fixed quantile grid.
+func (r Fig6Result) Summary() Fig6Summary {
+	s := Fig6Summary{Samples: r.Utilization.Len()}
+	for _, p := range fig6QuantileGrid {
+		s.Quantiles = append(s.Quantiles, Fig6Quantile{P: p, Utilization: r.Utilization.Quantile(p)})
+	}
+	return s
+}
+
+// AblationResult bundles the three ablation sweeps into one result value.
+type AblationResult struct {
+	Insurance  []AblationInsuranceRow
+	Alpha      []AblationAlphaRow
+	QueueCount []AblationQueueCountRow
+}
+
+// familyRunners maps every experiment family to its harness. The faults
+// family is special-cased in RunFamily because it is the only one that
+// accepts a scenario.
+var familyRunners = map[string]func(ExpOptions) any{
+	"fig4":    func(o ExpOptions) any { return Fig4(o) },
+	"fig5":    func(o ExpOptions) any { return Fig5(o) },
+	"fig6":    func(o ExpOptions) any { return Fig6(o).Summary() },
+	"fig10":   func(o ExpOptions) any { return Fig10(o) },
+	"fig11":   func(o ExpOptions) any { return Fig11(o) },
+	"fig12":   func(o ExpOptions) any { return Fig12(o) },
+	"fig13":   func(o ExpOptions) any { return Fig13(o) },
+	"fig14":   func(o ExpOptions) any { return Fig14(o) },
+	"fig15":   func(o ExpOptions) any { return Fig15(o) },
+	"theorem": func(o ExpOptions) any { return Theorem(o) },
+	"ablation": func(o ExpOptions) any {
+		return AblationResult{
+			Insurance:  AblationInsurance(o),
+			Alpha:      AblationAlpha(o),
+			QueueCount: AblationQueueCount(o),
+		}
+	},
+	"faults": func(o ExpOptions) any { return Faults(o) },
+}
+
+// Families returns the registered family names, sorted.
+func Families() []string {
+	names := make([]string, 0, len(familyRunners))
+	for name := range familyRunners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsFamily reports whether name is a registered experiment family.
+func IsFamily(name string) bool {
+	_, ok := familyRunners[name]
+	return ok
+}
+
+// RunFamily runs one experiment family under opt and returns its rows
+// (the same values the exported harness functions return; see the map
+// above for the per-family types). faults, when non-nil, replaces the
+// built-in fault classes of the faults family and is rejected for every
+// other family — a scenario silently ignored would alias two different
+// specs onto one result.
+func RunFamily(name string, opt ExpOptions, faults *FaultScenario) (any, error) {
+	run, ok := familyRunners[name]
+	if !ok {
+		return nil, fmt.Errorf("dshsim: unknown experiment family %q (have %v)", name, Families())
+	}
+	if faults != nil {
+		if name != "faults" {
+			return nil, fmt.Errorf("dshsim: family %q does not accept a fault scenario", name)
+		}
+		return FaultsWith(opt, faults), nil
+	}
+	return run(opt), nil
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the server's counter set, exposed at GET /metrics in
+// Prometheus text exposition format (stdlib only — the format is plain
+// text, so no client library is needed). Counters are atomics; the
+// per-family latency histograms sit behind one mutex because they are
+// touched once per completed job, not per request.
+type Metrics struct {
+	submitted    atomic.Int64 // POST /jobs accepted (new or deduped)
+	deduped      atomic.Int64 // POST matched an already queued/running job
+	completedOK  atomic.Int64
+	completedErr atomic.Int64
+	hitsMemory   atomic.Int64
+	hitsDisk     atomic.Int64
+	misses       atomic.Int64
+	resumed      atomic.Int64 // jobs re-enqueued from a checkpoint
+	rejected     atomic.Int64 // POST refused (queue full or draining)
+	queueDepth   atomic.Int64
+	running      atomic.Int64
+
+	mu   sync.Mutex
+	hist map[string]*histogram // family → job latency histogram
+}
+
+// histBounds are the latency bucket upper bounds in seconds. They span
+// "instant table" (fig4) to "paper-scale sweep" (minutes to an hour).
+var histBounds = [...]float64{0.01, 0.1, 0.5, 1, 5, 30, 120, 600, 3600}
+
+type histogram struct {
+	buckets [len(histBounds) + 1]int64 // +Inf bucket last
+	sum     float64
+	count   int64
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{hist: make(map[string]*histogram)}
+}
+
+// CacheHit records a served result and its tier (TierMemory, TierDisk).
+func (m *Metrics) CacheHit(tier string) {
+	if tier == TierMemory {
+		m.hitsMemory.Add(1)
+	} else {
+		m.hitsDisk.Add(1)
+	}
+}
+
+// CacheHits returns the total hits across both tiers (test/smoke helper).
+func (m *Metrics) CacheHits() int64 { return m.hitsMemory.Load() + m.hitsDisk.Load() }
+
+// ObserveJob records one executed job's latency under its family.
+func (m *Metrics) ObserveJob(family string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hist[family]
+	if h == nil {
+		h = &histogram{}
+		m.hist[family] = h
+	}
+	i := sort.SearchFloat64s(histBounds[:], seconds)
+	h.buckets[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// WritePrometheus emits the exposition text. Families are sorted so the
+// output is stable, which keeps tests and scrapes diffable.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("dshserve_jobs_submitted_total", "Accepted job submissions (including dedupes onto live jobs).", m.submitted.Load())
+	counter("dshserve_jobs_deduped_total", "Submissions that matched an already queued or running job.", m.deduped.Load())
+	fmt.Fprintf(w, "# HELP dshserve_jobs_completed_total Jobs executed to completion by status.\n")
+	fmt.Fprintf(w, "# TYPE dshserve_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "dshserve_jobs_completed_total{status=\"done\"} %d\n", m.completedOK.Load())
+	fmt.Fprintf(w, "dshserve_jobs_completed_total{status=\"failed\"} %d\n", m.completedErr.Load())
+	fmt.Fprintf(w, "# HELP dshserve_cache_hits_total Results served from the content-addressed cache by tier.\n")
+	fmt.Fprintf(w, "# TYPE dshserve_cache_hits_total counter\n")
+	fmt.Fprintf(w, "dshserve_cache_hits_total{tier=\"memory\"} %d\n", m.hitsMemory.Load())
+	fmt.Fprintf(w, "dshserve_cache_hits_total{tier=\"disk\"} %d\n", m.hitsDisk.Load())
+	counter("dshserve_cache_misses_total", "Submissions whose result was not cached and had to be computed.", m.misses.Load())
+	counter("dshserve_jobs_resumed_total", "Jobs re-enqueued from a drain checkpoint at startup.", m.resumed.Load())
+	counter("dshserve_jobs_rejected_total", "Submissions refused because the queue was full or the server draining.", m.rejected.Load())
+	gauge("dshserve_queue_depth", "Jobs queued and not yet started.", m.queueDepth.Load())
+	gauge("dshserve_jobs_running", "Jobs currently executing.", m.running.Load())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	families := make([]string, 0, len(m.hist))
+	for f := range m.hist {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	fmt.Fprintf(w, "# HELP dshserve_job_duration_seconds Wall-clock latency of executed jobs per family.\n")
+	fmt.Fprintf(w, "# TYPE dshserve_job_duration_seconds histogram\n")
+	for _, f := range families {
+		h := m.hist[f]
+		cum := int64(0)
+		for i, bound := range histBounds[:] {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "dshserve_job_duration_seconds_bucket{family=%q,le=%q} %d\n",
+				f, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.buckets[len(histBounds)]
+		fmt.Fprintf(w, "dshserve_job_duration_seconds_bucket{family=%q,le=\"+Inf\"} %d\n", f, cum)
+		fmt.Fprintf(w, "dshserve_job_duration_seconds_sum{family=%q} %g\n", f, h.sum)
+		fmt.Fprintf(w, "dshserve_job_duration_seconds_count{family=%q} %d\n", f, h.count)
+	}
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"dsh/dshsim"
+)
+
+// ResultSchema versions the result envelope written to the cache and
+// served from /results. It rides inside every result body; readers can
+// dispatch on it when the shape evolves.
+const ResultSchema = "dshserve-result/v1"
+
+// Envelope is the canonical result document: the content key, the
+// normalized semantic spec that produced it, and the family's rows (the
+// typed values of dshsim.RunFamily, scheme-filtered when requested).
+type Envelope struct {
+	Schema string          `json:"schema"`
+	Key    string          `json:"key"`
+	Family string          `json:"family"`
+	Spec   json.RawMessage `json:"spec"`
+	Rows   any             `json:"rows"`
+}
+
+// Execute runs one spec to completion and returns the canonical result
+// JSON. It is the single spec→bytes path: the server's workers call it,
+// and `dshbench -json` calls it with the same arguments, which is what
+// makes a server-computed result byte-identical to a CLI run — the
+// equivalence the cache (and its tests) rely on.
+//
+// codeVersion must be the same value used to derive the spec's content
+// key (CodeVersion() everywhere outside tests). progress, when non-nil,
+// receives the sweep executor's per-job completions; with Workers > 1 it
+// is called from worker goroutines, never concurrently with itself.
+func Execute(sp Spec, codeVersion string, progress func(dshsim.SweepProgress)) (out []byte, err error) {
+	sp = sp.Normalized()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	// Experiment harnesses panic on impossible outcomes (a sweep job
+	// failing); inside a long-running server that must surface as a failed
+	// job, not a dead process.
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, fmt.Errorf("serve: family %s panicked: %v\n%s", sp.Family, p, debug.Stack())
+		}
+	}()
+	opt := dshsim.ExpOptions{
+		Full:      sp.Full,
+		Seed:      sp.Seed,
+		Workers:   sp.Workers,
+		LPWorkers: sp.LPWorkers,
+		Progress:  progress,
+	}
+	rows, err := dshsim.RunFamily(sp.Family, opt, sp.Faults)
+	if err != nil {
+		return nil, err
+	}
+	rows = filterScheme(rows, sp.Scheme)
+	env := Envelope{
+		Schema: ResultSchema,
+		Key:    sp.Key(codeVersion),
+		Family: sp.Family,
+		Spec:   sp.CanonicalJSON(),
+		Rows:   rows,
+	}
+	// MarshalIndent with a trailing newline: canonical, diffable, and
+	// pleasant under `curl | less`. Any change here is a result-format
+	// change and must bump KeySchema (the key hash covers it transitively
+	// via the schema tag).
+	b, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode result: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// filterScheme keeps only the rows of the requested headroom scheme for
+// the row-per-scheme families. Validate has already restricted scheme to
+// those families, so the default arm (any other row type) passes through.
+func filterScheme(rows any, scheme string) any {
+	if scheme == "" {
+		return rows
+	}
+	want := dshsim.Scheme(scheme)
+	switch rs := rows.(type) {
+	case []dshsim.Fig12Row:
+		out := make([]dshsim.Fig12Row, 0, len(rs))
+		for _, r := range rs {
+			if r.Scheme == want {
+				out = append(out, r)
+			}
+		}
+		return out
+	case []dshsim.FaultsRow:
+		out := make([]dshsim.FaultsRow, 0, len(rs))
+		for _, r := range rs {
+			if r.Scheme == want {
+				out = append(out, r)
+			}
+		}
+		return out
+	default:
+		return rows
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dsh/dshsim"
+	"dsh/units"
+)
+
+const testVersion = "test-version"
+
+// TestKeyIgnoresEncodingNoise: two client encodings of the same experiment
+// — different JSON key order, defaults spelled out vs omitted, execution
+// knobs present or absent — must land on the same content key, or the
+// cache never hits.
+func TestKeyIgnoresEncodingNoise(t *testing.T) {
+	variants := []string{
+		`{"family":"fig11","seed":1}`,
+		`{"seed":1,"family":"fig11"}`,
+		`{"family":"fig11"}`,                           // seed omitted: defaults to 1
+		`{"family":"fig11","full":false}`,              // default spelled out
+		`{"family":"fig11","seed":1,"workers":8}`,      // execution knob
+		`{"workers":3,"lpWorkers":4,"family":"fig11"}`, // execution knobs, reordered
+		`{"family":"FIG11","seed":1}`,                  // family case-folds
+		`{"family":"  fig11 ","seed":1,"lpWorkers":2}`, // whitespace
+	}
+	var want string
+	for i, v := range variants {
+		sp, err := ParseSpec([]byte(v))
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		key := sp.Normalized().Key(testVersion)
+		if i == 0 {
+			want = key
+			continue
+		}
+		if key != want {
+			t.Errorf("variant %d (%s): key %s, want %s", i, v, key, want)
+		}
+	}
+}
+
+// TestKeyPropertyRandomOrder: assemble the same spec from randomly ordered
+// field fragments, with defaults randomly spelled out and execution knobs
+// randomly attached; every permutation must hash identically.
+func TestKeyPropertyRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	want := Spec{Family: "fig12", Seed: 42, Scheme: "DSH"}.Normalized().Key(testVersion)
+	for trial := 0; trial < 200; trial++ {
+		fields := []string{
+			`"family":"fig12"`,
+			`"seed":42`,
+			`"scheme":"dsh"`, // case-insensitive on the wire
+		}
+		if rng.Intn(2) == 0 {
+			fields = append(fields, `"full":false`)
+		}
+		if rng.Intn(2) == 0 {
+			fields = append(fields, fmt.Sprintf(`"workers":%d`, rng.Intn(16)))
+		}
+		if rng.Intn(2) == 0 {
+			fields = append(fields, fmt.Sprintf(`"lpWorkers":%d`, rng.Intn(8)))
+		}
+		rng.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+		doc := "{" + strings.Join(fields, ",") + "}"
+		sp, err := ParseSpec([]byte(doc))
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, doc, err)
+		}
+		if got := sp.Normalized().Key(testVersion); got != want {
+			t.Fatalf("trial %d (%s): key %s, want %s", trial, doc, got, want)
+		}
+	}
+}
+
+// TestKeySemanticFieldsIncluded: every field that changes what is computed
+// must change the key — seed, family, full, headroom scheme, the fault
+// scenario, and the code version itself.
+func TestKeySemanticFieldsIncluded(t *testing.T) {
+	base := Spec{Family: "faults", Seed: 1}.Normalized()
+	baseKey := base.Key(testVersion)
+	mutate := []struct {
+		name string
+		sp   Spec
+		ver  string
+	}{
+		{"seed", Spec{Family: "faults", Seed: 2}, testVersion},
+		{"family", Spec{Family: "fig12", Seed: 1}, testVersion},
+		{"full", Spec{Family: "faults", Seed: 1, Full: true}, testVersion},
+		{"scheme/headroom-mode", Spec{Family: "faults", Seed: 1, Scheme: "DSH"}, testVersion},
+		{"faults-scenario", Spec{Family: "faults", Seed: 1,
+			Faults: &dshsim.FaultScenario{Name: "x", Events: []dshsim.FaultEvent{
+				{Kind: dshsim.FaultLinkFlap, At: units.Millisecond, Node: 1, Port: 2},
+			}}}, testVersion},
+		{"code-version", Spec{Family: "faults", Seed: 1}, "other-version"},
+	}
+	seen := map[string]string{baseKey: "base"}
+	for _, m := range mutate {
+		sp := m.sp.Normalized()
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("%s: unexpectedly invalid: %v", m.name, err)
+		}
+		key := sp.Key(m.ver)
+		if key == baseKey {
+			t.Errorf("%s: key unchanged from base", m.name)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s: key collides with %s", m.name, prev)
+		}
+		seen[key] = m.name
+	}
+
+	// The two headroom modes must hash apart from each other, too.
+	sih := Spec{Family: "faults", Seed: 1, Scheme: "sih"}.Normalized().Key(testVersion)
+	dsh := Spec{Family: "faults", Seed: 1, Scheme: "dsh"}.Normalized().Key(testVersion)
+	if sih == dsh {
+		t.Error("SIH and DSH scheme filters hash to the same key")
+	}
+
+	// Scenario *content* is semantic: two scenarios differing in one event
+	// field must not alias.
+	scA := Spec{Family: "faults", Seed: 1, Faults: &dshsim.FaultScenario{Name: "s",
+		Events: []dshsim.FaultEvent{{Kind: dshsim.FaultPauseStorm, At: units.Millisecond, Node: 3, Class: -1}}}}
+	scB := scA
+	evs := []dshsim.FaultEvent{{Kind: dshsim.FaultPauseStorm, At: 2 * units.Millisecond, Node: 3, Class: -1}}
+	scB.Faults = &dshsim.FaultScenario{Name: "s", Events: evs}
+	if scA.Normalized().Key(testVersion) == scB.Normalized().Key(testVersion) {
+		t.Error("fault scenarios with different events hash to the same key")
+	}
+}
+
+// TestKeyExcludesExecutionKnobs pins the exclusion list: Workers and
+// LPWorkers select an engine configuration, every one of which is
+// bit-identical by the repo's equivalence tests, so they must not split
+// the cache.
+func TestKeyExcludesExecutionKnobs(t *testing.T) {
+	base := Spec{Family: "fig11", Seed: 9}.Normalized().Key(testVersion)
+	for _, sp := range []Spec{
+		{Family: "fig11", Seed: 9, Workers: 1},
+		{Family: "fig11", Seed: 9, Workers: 64},
+		{Family: "fig11", Seed: 9, LPWorkers: 4},
+		{Family: "fig11", Seed: 9, Workers: 2, LPWorkers: 8},
+	} {
+		if got := sp.Normalized().Key(testVersion); got != base {
+			t.Errorf("%+v: key %s differs from base %s (execution knob leaked into the hash)", sp, got, base)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"family":"fig11","sheme":"DSH"}`)); err == nil {
+		t.Fatal("ParseSpec accepted a misspelled field")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Family: "fig99"},
+		{Family: "fig11", Scheme: "BOTH"},
+		{Family: "fig11", Scheme: "DSH"}, // no per-scheme rows in fig11
+		{Family: "fig11", Faults: &dshsim.FaultScenario{Name: "x"}},
+		{Family: "fig11", Workers: -1},
+		{Family: "fig11", LPWorkers: -2},
+	}
+	for _, sp := range bad {
+		if err := sp.Normalized().Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", sp)
+		}
+	}
+	good := []Spec{
+		{Family: "fig4"},
+		{Family: "fig12", Scheme: "sih"},
+		{Family: "faults", Scheme: "DSH", Faults: &dshsim.FaultScenario{Name: "x"}},
+		{Family: "fig11", Workers: 8, LPWorkers: 4, Full: true, Seed: 3},
+	}
+	for _, sp := range good {
+		if err := sp.Normalized().Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", sp, err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end exercise of the dshserve sweep service against
+# real built binaries. It asserts the three properties the service exists
+# for:
+#
+#   1. a submitted fig11 job computes once and completes;
+#   2. the identical spec resubmitted (under a different JSON encoding) is
+#      a cache hit — observable both in the response ("cached": true) and
+#      in the /metrics counters — with exactly one computed run overall;
+#   3. the server result is byte-identical to `dshbench -json` for the
+#      same spec, and SIGTERM drains cleanly: exit 0, queue checkpoint
+#      written, "drained cleanly" in the log.
+#
+# Artifacts (server log, metrics scrape, both result bodies) land in
+# $SMOKE_DIR (default ./serve-smoke) for CI to upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE_DIR="${SMOKE_DIR:-serve-smoke}"
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+LOG="$SMOKE_DIR/server.log"
+DATA="$SMOKE_DIR/data"
+ADDR_FILE="$SMOKE_DIR/addr"
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+echo "serve-smoke: building dshserve and dshbench"
+# Both binaries are built back to back from the same tree so they embed the
+# same code version — a prerequisite for the byte-identity check below.
+go build -o "$SMOKE_DIR/dshserve" ./cmd/dshserve
+go build -o "$SMOKE_DIR/dshbench" ./cmd/dshbench
+
+"$SMOKE_DIR/dshserve" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" -data-dir "$DATA" >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  [ -f "$ADDR_FILE" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died at startup; log: $(cat "$LOG")"
+  sleep 0.1
+done
+[ -f "$ADDR_FILE" ] || fail "server never wrote $ADDR_FILE"
+BASE="http://$(cat "$ADDR_FILE")"
+echo "serve-smoke: server at $BASE"
+
+curl -fsS "$BASE/healthz" | grep -q '"status": "ok"' || fail "healthz not ok"
+
+# 1. Submit a small fig11 job and poll it to completion.
+R1=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"family":"fig11","seed":1}' "$BASE/jobs")
+KEY=$(printf '%s' "$R1" | grep -o '"key": "[0-9a-f]*"' | head -1 | cut -d'"' -f4)
+[ -n "$KEY" ] || fail "no content key in submit response: $R1"
+printf '%s' "$R1" | grep -q '"cached": true' && fail "first submission claimed a cache hit: $R1"
+echo "serve-smoke: submitted fig11 as $KEY"
+
+ST=""
+for _ in $(seq 1 600); do
+  ST=$(curl -fsS "$BASE/jobs/$KEY")
+  case "$ST" in
+    *'"status": "done"'*) break ;;
+    *'"status": "failed"'*) fail "job failed: $ST" ;;
+  esac
+  sleep 0.2
+done
+printf '%s' "$ST" | grep -q '"status": "done"' || fail "job never completed: $ST"
+curl -fsS "$BASE/results/$KEY" -o "$SMOKE_DIR/result-server.json"
+echo "serve-smoke: job completed"
+
+# 2. Identical spec, noisy encoding (key order shuffled, default spelled
+# out, execution knob attached): must be a cache hit, not a second run.
+R2=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"seed":1,"full":false,"family":"fig11","workers":2}' "$BASE/jobs")
+printf '%s' "$R2" | grep -q '"cached": true' || fail "resubmission was not a cache hit: $R2"
+printf '%s' "$R2" | grep -q "\"key\": \"$KEY\"" || fail "resubmission keyed differently: $R2"
+
+curl -fsS "$BASE/metrics" >"$SMOKE_DIR/metrics.txt"
+HITS=$(awk '$1 == "dshserve_cache_hits_total{tier=\"memory\"}" {print $2}' "$SMOKE_DIR/metrics.txt")
+[ "${HITS:-0}" -ge 1 ] || fail "expected >= 1 memory cache hit in /metrics, got '${HITS:-}'"
+DONE=$(awk '$1 == "dshserve_jobs_completed_total{status=\"done\"}" {print $2}' "$SMOKE_DIR/metrics.txt")
+[ "${DONE:-0}" -eq 1 ] || fail "expected exactly 1 computed run in /metrics, got '${DONE:-}'"
+echo "serve-smoke: cache hit confirmed ($HITS memory hit(s), $DONE computed run)"
+
+# 3a. Byte-identity against the CLI: dshbench -json runs the same
+# serve.Execute under the same embedded code version.
+"$SMOKE_DIR/dshbench" -quiet -json fig11 >"$SMOKE_DIR/result-cli.json"
+cmp "$SMOKE_DIR/result-server.json" "$SMOKE_DIR/result-cli.json" \
+  || fail "server result differs from dshbench -json (see $SMOKE_DIR/result-*.json)"
+echo "serve-smoke: server result byte-identical to dshbench -json"
+
+# 3b. SIGTERM → graceful drain: exit 0 and a queue checkpoint on disk.
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+trap - EXIT
+[ "$EXIT_CODE" -eq 0 ] || fail "server exited $EXIT_CODE after SIGTERM; log: $(cat "$LOG")"
+[ -f "$DATA/queue.json" ] || fail "no drain checkpoint at $DATA/queue.json"
+grep -q '"schema": "dshserve-queue/v1"' "$DATA/queue.json" || fail "bad checkpoint: $(cat "$DATA/queue.json")"
+grep -q 'drained cleanly' "$LOG" || fail "server log missing the drain line: $(cat "$LOG")"
+echo "serve-smoke: clean drain (exit 0, checkpoint written)"
+
+echo "serve-smoke: PASS"

@@ -262,6 +262,12 @@ func runBenchDiff(oldPath, newPath string, tol float64, strict bool) (bool, erro
 			fmt.Printf("strict: new report violates budgets: %v\n", err)
 			ok = false
 		}
+		// A single-core runner cannot measure parallel speedup, so the
+		// ≥1.8x lp_speedup floor is not attached there. Passing silently
+		// would look like the floor held; say out loud that it never ran.
+		for _, note := range benchkit.UngatedNotes(newR) {
+			fmt.Printf("strict: %s\n", note)
+		}
 	}
 	return ok, nil
 }

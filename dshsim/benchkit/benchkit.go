@@ -150,6 +150,42 @@ func fig11Point(b *testing.B, lpWorkers int) {
 			b.Fatal("fig11 point returned a negative pause duration")
 		}
 	}
+	reportEngineCounters(b, st, lpWorkers)
+}
+
+// FatTreePoint measures one paper-scale fat-tree load point (k=16, 1024
+// hosts, DCQCN + web search) on the classic single-heap engine — the
+// fabric the -full sweeps run, at a bench-sized horizon. It is the serial
+// baseline of the second lp_speedup pair.
+func FatTreePoint(b *testing.B) { fatTreePoint(b, 0) }
+
+// FatTreePointLP4 measures the same fat-tree point with the fabric
+// partitioned into per-device logical processes and 4 LP workers. Unlike
+// the single-switch pair, the 1024-host LP graph amortises the epoch
+// machinery over ~10k events per epoch, and the per-LP heaps are orders of
+// magnitude smaller than the classic engine's — so this kernel beats its
+// serial twin even on a single core.
+func FatTreePointLP4(b *testing.B) { fatTreePoint(b, 4) }
+
+func fatTreePoint(b *testing.B, lpWorkers int) {
+	st := &dshsim.SweepStats{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if done := dshsim.FatTreePoint(dshsim.DSH, 1, lpWorkers, st); done == 0 {
+			b.Fatal("fat-tree point completed no flows")
+		}
+	}
+	reportEngineCounters(b, st, lpWorkers)
+}
+
+// reportEngineCounters emits the engine metrics every kernel reports, plus
+// the partitioned-engine counters (barrier epochs per op and the measured
+// LP balance ratio) on the LP kernels.
+func reportEngineCounters(b *testing.B, st *dshsim.SweepStats, lpWorkers int) {
 	b.ReportMetric(float64(st.Events())/float64(b.N), "events/op")
 	b.ReportMetric(float64(st.HeapMax()), "heap_max")
+	if lpWorkers > 0 {
+		b.ReportMetric(float64(st.Epochs())/float64(b.N), "epochs")
+		b.ReportMetric(st.LPBalance(), "lp_balance")
+	}
 }

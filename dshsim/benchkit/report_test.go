@@ -3,6 +3,7 @@ package benchkit
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -110,14 +111,17 @@ func TestDeriveSpeedupAndFloor(t *testing.T) {
 		Schema: SchemaVersion, GoVersion: "go", GOOS: "linux", GOARCH: "amd64",
 		NumCPU: 8,
 		Benchmarks: []BenchResult{
-			{Name: lpSerialKernel, Iterations: 1, NsPerOp: 100},
-			{Name: lpParallelKernel, Iterations: 1, NsPerOp: 50},
+			{Name: "Fig11Point", Iterations: 1, NsPerOp: 100},
+			{Name: "Fig11PointLP4", Iterations: 1, NsPerOp: 50},
 		},
 	}
 	deriveSpeedup(&rep)
 	par := rep.Benchmarks[1]
 	if par.LPWorkers != 4 || par.LPSpeedup == nil || *par.LPSpeedup != 2.0 {
 		t.Fatalf("speedup not derived: %+v", par)
+	}
+	if par.LPOverheadRatio == nil || *par.LPOverheadRatio != 0.5 {
+		t.Fatalf("overhead ratio not derived: %+v", par)
 	}
 	if par.LPSpeedupBudget == nil || *par.LPSpeedupBudget != lpSpeedupFloor {
 		t.Fatalf("floor not attached on an 8-core report: %+v", par)
@@ -145,5 +149,74 @@ func TestDeriveSpeedupAndFloor(t *testing.T) {
 	}
 	if err := rep.Validate(); err != nil {
 		t.Fatalf("single-core sub-floor ratio must still validate: %v", err)
+	}
+}
+
+// TestDeriveSpeedupCoversAllPairs pins that every serial/parallel pair —
+// not just the original Fig. 11 one — gets its ratios derived.
+func TestDeriveSpeedupCoversAllPairs(t *testing.T) {
+	rep := Report{
+		Schema: SchemaVersion, GoVersion: "go", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 1,
+	}
+	for _, pair := range lpPairs {
+		rep.Benchmarks = append(rep.Benchmarks,
+			BenchResult{Name: pair[0], Iterations: 1, NsPerOp: 100},
+			BenchResult{Name: pair[1], Iterations: 1, NsPerOp: 80})
+	}
+	deriveSpeedup(&rep)
+	for i, b := range rep.Benchmarks {
+		if i%2 == 0 {
+			continue
+		}
+		if b.LPSpeedup == nil || b.LPOverheadRatio == nil {
+			t.Errorf("pair kernel %s missing derived ratios: %+v", b.Name, b)
+		}
+	}
+}
+
+// TestUngatedNotes pins the strict-mode transparency contract: a report
+// whose speedup floor could not be attached (single-core host) yields one
+// explicit note per LP pair, and a gated report yields none.
+func TestUngatedNotes(t *testing.T) {
+	rep := Report{
+		Schema: SchemaVersion, GoVersion: "go", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 1,
+		Benchmarks: []BenchResult{
+			{Name: "Fig11Point", Iterations: 1, NsPerOp: 100},
+			{Name: "Fig11PointLP4", Iterations: 1, NsPerOp: 125},
+		},
+	}
+	deriveSpeedup(&rep)
+	notes := UngatedNotes(rep)
+	if len(notes) != 1 {
+		t.Fatalf("want exactly one ungated note on a 1-CPU report, got %q", notes)
+	}
+	for _, want := range []string{"Fig11PointLP4", "num_cpu 1 < 4", "NOT enforced"} {
+		if !strings.Contains(notes[0], want) {
+			t.Errorf("note %q missing %q", notes[0], want)
+		}
+	}
+
+	rep.NumCPU = 8
+	rep.Benchmarks[1].LPSpeedup, rep.Benchmarks[1].LPSpeedupBudget = nil, nil
+	rep.Benchmarks[1].NsPerOp = 50
+	deriveSpeedup(&rep)
+	if notes := UngatedNotes(rep); len(notes) != 0 {
+		t.Fatalf("gated multi-core report must have no ungated notes, got %q", notes)
+	}
+}
+
+// TestReadReportAcceptsV3 keeps bench-diff working against the committed
+// pre-v4 baselines (BENCH_PR5.json is dsh-bench/v3).
+func TestReadReportAcceptsV3(t *testing.T) {
+	doc := `{"schema":"dsh-bench/v3","go_version":"go","goos":"linux","goarch":"amd64",` +
+		`"num_cpu":1,"benchmarks":[{"name":"Fast","iterations":1,"ns_per_op":1}]}`
+	r, err := ReadReport(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadReport rejected a v3 baseline: %v", err)
+	}
+	if r.Benchmarks[0].Name != "Fast" {
+		t.Fatalf("bad decode: %+v", r)
 	}
 }

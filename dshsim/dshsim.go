@@ -283,6 +283,15 @@ type Result struct {
 	// HeapMax is the high-water mark of the event heap — the scaling
 	// observable of the Channel conversion (see sim.Simulator.HeapMax).
 	HeapMax int
+	// Epochs counts the partitioned engine's barrier epochs (0 on the
+	// classic engine). Epochs per simulated second is the partition-tax
+	// observable: wider lookahead windows mean fewer epochs.
+	Epochs uint64
+	// LPBalance is the ratio of the busiest LP's processed-event count to
+	// the per-LP mean (1.0 = perfectly balanced, 0 on the classic engine).
+	// It feeds the measured LP rebalancing policy and the benchkit
+	// lp_balance metric.
+	LPBalance float64
 	// WireDrops counts packets lost to down links (fault-injected flaps);
 	// zero without faults.
 	WireDrops int64
@@ -440,6 +449,8 @@ func Run(net *Network, rc RunConfig) *Result {
 	res.Unfinished = started - res.FCT.Count("")
 	res.Events = net.Processed()
 	res.HeapMax = net.HeapMax()
+	res.Epochs = net.Epochs()
+	res.LPBalance = net.LPBalance()
 	res.WireDrops = net.WireDrops()
 	if inj != nil {
 		res.Faults = inj.Stats()

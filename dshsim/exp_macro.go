@@ -242,6 +242,34 @@ func LoadPointScaled(opt ExpOptions, tr TransportKind, dist *SizeDist, bgLoad fl
 	return pt
 }
 
+// FatTreePoint runs one paper-scale fat-tree load point — the k=16 fabric
+// of the -full sweeps, 1024 hosts — at a bench-sized duration, and returns
+// the completed-flow count. Exported for the benchkit pairwise-lookahead
+// speedup kernels; lpWorkers selects the engine exactly like
+// ExpOptions.LPWorkers, and results are bit-identical for every value. The
+// duration is short (the fabric, not the horizon, is what the kernel
+// scales) but long enough that tens of millions of events cross LP
+// boundaries on every op.
+func FatTreePoint(scheme Scheme, seed int64, lpWorkers int, stats *SweepStats) int {
+	const (
+		k        = 16
+		rate     = 100 * units.Gbps
+		duration = 200 * units.Microsecond
+	)
+	nc := NetworkConfig{Scheme: scheme, Transport: TransportDCQCN, Seed: seed, LPWorkers: lpWorkers}
+	nc.bufferHook = paperPressureBuffers
+	ft := NewFatTree(nc, k, rate)
+	rng := rand.New(rand.NewSource(seed))
+	specs := mixedSpecs(rng, ft.PodHosts, WebSearch(), 0.5, 0.9, rate, duration, 16)
+	res := Run(ft.Network, RunConfig{Specs: specs, Duration: duration, Drain: true, DrainCap: 10 * duration})
+	stats.note(res)
+	done := 0
+	for _, tag := range []string{"background", "fanin"} {
+		done += len(res.FCT.Records(tag))
+	}
+	return done
+}
+
 // runLoadPoint runs the same workload under SIH and DSH and returns the
 // paired averages. Averages are computed over the flows that completed in
 // BOTH runs: a scheme that leaves its slowest flows unfinished must not be

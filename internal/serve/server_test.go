@@ -523,3 +523,47 @@ func TestHealthzReportsDraining(t *testing.T) {
 		t.Fatalf("healthz after drain: %v", m)
 	}
 }
+
+// TestCacheKeyIdenticalAcrossLPWorkers pins the knob-exclusion property end
+// to end: lpWorkers selects an engine configuration whose results are
+// bit-identical by the partitioned engine's determinism contract, so specs
+// differing only in lpWorkers must map to one cache key — the first submit
+// computes, every other lpWorkers value is a cache hit, and the execution
+// that did run received its own spec's knob.
+func TestCacheKeyIdenticalAcrossLPWorkers(t *testing.T) {
+	var runs atomic.Int64
+	var ranLPWorkers atomic.Int64
+	_, ts := newTestServer(t, Config{
+		RunFunc: func(sp Spec, _ string, _ func(dshsim.SweepProgress)) ([]byte, error) {
+			runs.Add(1)
+			ranLPWorkers.Store(int64(sp.LPWorkers))
+			return stubResult(sp), nil
+		},
+	})
+
+	code, first := postJob(t, ts, `{"family":"fig11","seed":7,"lpWorkers":1}`)
+	if code != http.StatusAccepted || first.Cached {
+		t.Fatalf("first submit: code %d cached %v, want 202 uncached", code, first.Cached)
+	}
+	waitStatus(t, ts, first.Key, string(jobDone))
+	if got := ranLPWorkers.Load(); got != 1 {
+		t.Fatalf("executor saw lpWorkers %d, want the submitted 1", got)
+	}
+
+	for _, body := range []string{
+		`{"family":"fig11","seed":7,"lpWorkers":4}`,
+		`{"family":"fig11","seed":7,"lpWorkers":2}`,
+		`{"family":"fig11","seed":7}`,
+	} {
+		code, st := postJob(t, ts, body)
+		if st.Key != first.Key {
+			t.Fatalf("submit %s: key %s, want %s — lpWorkers leaked into the content key", body, st.Key, first.Key)
+		}
+		if code != http.StatusOK || !st.Cached {
+			t.Fatalf("submit %s: code %d cached %v, want a cache hit", body, code, st.Cached)
+		}
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("%d executions for one content key, want 1", n)
+	}
+}

@@ -13,13 +13,30 @@ import (
 // Conservative LP-partitioned execution.
 //
 // A Parallel groups one coordinator Simulator with K logical-process (LP)
-// Simulators and runs them under an epoch-barrier conservative schedule:
-// every epoch, all LPs execute their events in parallel up to
-// min(nextEventTime) + lookahead, where the lookahead is the minimum
-// propagation delay over all cross-LP links. Events an LP schedules onto
-// another LP travel through single-writer mailboxes (one per directed LP
-// pair) that are drained at the barrier, so no Simulator is ever touched by
-// two goroutines at once.
+// Simulators and runs them under an epoch-barrier conservative schedule.
+// Every epoch, each LP d executes its events in parallel up to its own
+// window limit
+//
+//	limit[d] = min over incoming edges (src→d) of eot(src) + latency[src][d]
+//
+// where eot(src) — the earliest output time of src — is the timestamp of
+// the earliest event src could possibly execute this epoch (its heap head,
+// or an undrained message addressed to it, whichever is earlier), and
+// latency is the per-LP-pair minimum link latency. An idle LP (no pending
+// events, no pending messages) cannot send anything this epoch and
+// therefore does not constrain its neighbours at all. This pairwise
+// conditional lookahead replaces the PR 5 design's single global window
+// (min event time + global min latency across ALL links), so epochs grow
+// to whatever the topology actually permits: an LP with no incoming edges
+// runs straight to the next coordinator event, and a far-ahead or idle
+// neighbour stops throttling everyone else.
+//
+// Events an LP schedules onto another LP travel through single-writer
+// per-edge mailboxes. The mailboxes are double-buffered: senders append to
+// the current buffer while drains read the previous one, which lets the
+// drain fuse into the same barrier phase as event execution — one barrier
+// round per epoch, not two. Messages are flushed into the destination heap
+// once per epoch, in batch, never handed over individually.
 //
 // Determinism is by construction, not by locking discipline. The global
 // event order is (at, lp, seq), realized as (at, seqBase|seq) on the
@@ -39,19 +56,31 @@ import (
 // (coordinator tag 0 sorts first). They may read any LP's state and
 // schedule onto any LP at arbitrary non-negative delays; only LP→LP
 // traffic needs the lookahead discipline.
+//
+// Window safety: during an epoch, src executes only events with timestamps
+// ≥ eot(src) (its heap holds nothing earlier, and messages drained into it
+// this epoch are ≥ eot(src) by definition). Every message it emits on edge
+// src→d therefore arrives at ≥ eot(src) + latency[src][d] ≥ limit[d], so
+// the destination — which runs strictly below limit[d] — can never miss a
+// message it should have seen. Progress: the LP holding the globally
+// minimal pending time tmin always runs, because every incoming-edge bound
+// is ≥ tmin + latency > tmin (latencies are positive).
 
 // lpSeqShift splits the 64-bit sequence space into (lp, local seq). 2^48
 // local sequence numbers per LP is ~5 orders of magnitude above the largest
 // run's event count; 2^15 LPs is two above the largest topology.
 const lpSeqShift = 48
 
-// hugeLookahead stands in for "no cross-LP links": the epoch limit is then
-// bounded only by the coordinator's next event and the deadline.
+// hugeLookahead stands in for "no cross-LP links": Lookahead reports it
+// when no remotes are registered.
 const hugeLookahead = units.Time(math.MaxInt64 >> 2)
+
+// noMsg is the per-edge pending-minimum sentinel for an empty mailbox.
+const noMsg = units.Time(math.MaxInt64)
 
 // remoteMsg is one cross-LP event in flight: the full heap key reserved at
 // send time plus the Action payload, inserted into the destination heap at
-// the barrier via atSeq.
+// the epoch flush via atSeq.
 type remoteMsg struct {
 	at  units.Time
 	seq uint64
@@ -66,9 +95,12 @@ type remoteMsg struct {
 type Remote struct {
 	par      *Parallel
 	src, dst int32
-	srcSim   *Simulator
+	// eid indexes the pair's mailbox buffers; remotes on the same directed
+	// pair share one edge. Assigned at finalize.
+	eid    int32
+	srcSim *Simulator
 	// minDelay is the link latency registered at creation; Send enforces it
-	// because delays below the global lookahead would violate the window
+	// because delays below the pair latency would violate the window
 	// safety argument.
 	minDelay units.Time
 }
@@ -81,15 +113,36 @@ func (r *Remote) Send(delay units.Time, act Action, arg any, n int64) {
 		panic(fmt.Sprintf("sim: remote send delay %v below registered link latency %v", delay, r.minDelay))
 	}
 	s := r.srcSim
-	box := &r.par.boxes[int(r.src)*len(r.par.lps)+int(r.dst)]
-	*box = append(*box, remoteMsg{at: s.now + delay, seq: s.reserveSeq(), act: act, arg: arg, n: n})
+	at := s.now + delay
+	p := r.par
+	box := &p.curBoxes[r.eid]
+	*box = append(*box, remoteMsg{at: at, seq: s.reserveSeq(), act: act, arg: arg, n: n})
+	if at < p.curMin[r.eid] {
+		p.curMin[r.eid] = at
+	}
 }
 
-// phaseDesc is one barrier-delimited unit of parallel work: either "run
-// every LP's window up to limit" or "drain every LP's incoming mailboxes".
-type phaseDesc struct {
-	limit units.Time
-	drain bool
+// inEdge is one incoming cross-LP edge as seen from its destination: the
+// source LP, the pair's mailbox index, and the pair's minimum latency (the
+// entry of the pairwise lookahead matrix for this directed pair).
+type inEdge struct {
+	src int32
+	eid int32
+	lat units.Time
+}
+
+// flatEdge is one directed LP pair in the relaxation list the per-epoch
+// earliest-output-time fixed point iterates over.
+type flatEdge struct {
+	src, dst int32
+	lat      units.Time
+}
+
+// joinFlag is one participant's arrival word in the tree barrier, padded to
+// its own cache line so spinning parents do not bounce siblings' lines.
+type joinFlag struct {
+	v atomic.Uint64
+	_ [56]byte
 }
 
 // Parallel is the epoch-barrier scheduler. Build it before the run: create
@@ -102,37 +155,62 @@ type Parallel struct {
 	look    units.Time
 	workers int
 
-	// boxes[src*K+dst] is the mailbox for one directed LP pair; senders[dst]
-	// lists the source LPs that ever registered a Remote into dst, so a
-	// barrier drain walks the cross-LP edge list, not all K² pairs.
-	boxes   [][]remoteMsg
-	senders [][]int32
+	// Double-buffered per-edge mailboxes, indexed by edge id (one edge per
+	// directed LP pair that ever registered a Remote). Senders append to
+	// curBoxes and maintain curMin (the earliest pending timestamp per
+	// edge); the epoch flip swaps cur and prev, and the fused phase drains
+	// prevBoxes while new sends land in the (empty) curBoxes. Exactly one
+	// goroutine writes any given box during a phase: the source LP's runner
+	// appends to cur, the destination LP's claimer empties prev.
+	curBoxes, prevBoxes [][]remoteMsg
+	curMin, prevMin     []units.Time
+
+	// in[d] lists d's incoming edges — the per-destination row of the
+	// pairwise minimum-latency matrix, in registration order — and edges is
+	// the same matrix as a flat relaxation list for the eot fixed point.
+	in      [][]inEdge
+	edges   []flatEdge
 	remotes []*Remote
 	final   bool
 
 	// order is the LP claim order for a phase, heaviest first so the
-	// long-pole LP starts before the stragglers. It is resorted from
-	// cumulative processed-event counts every 64 epochs; it affects only
+	// long-pole LP starts before the stragglers. It is seeded from the
+	// builder-provided weight hints and periodically resorted from measured
+	// per-LP processed-event deltas (see rebalanceMaybe); it affects only
 	// wall-clock, never results, because LPs share no state inside a phase.
-	order  []int32
-	epochs uint64
+	order    []int32
+	weights  []uint64
+	lastProc []uint64
+	epochs   uint64
 
-	// The phase barrier is a spin barrier, not a channel: epochs are only a
-	// lookahead wide (~µs of simulated time, ~tens of µs of work), so
-	// parking and waking goroutines per phase would cost as much as the
-	// phase itself. curPhase is published by incrementing phaseSeq (the
-	// atomic add/load pair is the release/acquire edge); workers spin —
-	// yielding periodically so a GOMAXPROCS=1 run still makes progress —
-	// until the sequence moves, execute the phase, and bump done. The
-	// coordinator goroutine participates too, then spins until done reaches
-	// nrun-1. stopFlag, checked after every sequence change, ends the
-	// workers when RunUntil returns.
-	curPhase phaseDesc
+	// limits[d] is LP d's window for the published epoch; eff and eot are
+	// scratch for the per-LP earliest event times and their shortest-path
+	// fixed point. All are written by the coordinator goroutine before the
+	// phase publish (phaseSeq is the release/acquire edge).
+	limits []units.Time
+	eff    []units.Time
+	eot    []units.Time
+
+	// Phase protocol. The coordinator publishes an epoch by bumping
+	// phaseSeq (workers spin on it, yielding periodically so a GOMAXPROCS=1
+	// run still makes progress), every participant claims LPs off the
+	// shared cursor, and completion is a sense-reversing tree join: each
+	// participant waits for its two children in a static binary tree to
+	// post the epoch number in their padded flags, then posts its own. The
+	// monotone epoch number doubles as the sense word (no A/B flip needed,
+	// and no ABA hazard), and the root — the coordinator — returning from
+	// the join IS the barrier: its next phaseSeq bump is the release.
+	// stopFlag, checked after every sequence change, ends the workers when
+	// RunUntil returns.
 	phaseSeq atomic.Uint64
-	done     atomic.Int64
+	flags    []joinFlag
 	stopFlag atomic.Bool
 	cursor   atomic.Int64
 	nrun     int
+
+	// forceParallel disables the single-P serial fast path in RunUntil so
+	// tests can exercise the barrier protocol on a GOMAXPROCS=1 box.
+	forceParallel bool
 }
 
 // NewParallel returns a scheduler whose coordinator is coord (seqBase 0 —
@@ -162,7 +240,7 @@ func (p *Parallel) NewLP() (*Simulator, int) {
 
 // NewRemote registers a directed cross-LP edge from the LP owning src to
 // LP dst, with the link's propagation delay as its latency contribution to
-// the global lookahead. src must be an LP simulator created by NewLP.
+// the pair's lookahead. src must be an LP simulator created by NewLP.
 func (p *Parallel) NewRemote(src *Simulator, dst int, latency units.Time) *Remote {
 	if p.final {
 		panic("sim: NewRemote after the first RunUntil")
@@ -191,6 +269,21 @@ func (p *Parallel) NewRemote(src *Simulator, dst int, latency units.Time) *Remot
 	return r
 }
 
+// AddLPWeight biases the initial heaviest-first claim order with a static
+// workload hint (e.g. device or port counts) before the first RunUntil.
+// Measured processed-event counts take over after the first rebalance
+// interval; the hint only matters for the opening epochs. Weights never
+// affect results, only wall-clock.
+func (p *Parallel) AddLPWeight(lp int, w uint64) {
+	if p.final {
+		panic("sim: AddLPWeight after the first RunUntil")
+	}
+	for len(p.weights) < len(p.lps) {
+		p.weights = append(p.weights, 0)
+	}
+	p.weights[lp] += w
+}
+
 // SetWorkers changes the worker count for subsequent RunUntil calls.
 func (p *Parallel) SetWorkers(n int) { p.workers = n }
 
@@ -206,8 +299,9 @@ func (p *Parallel) LP(i int) *Simulator { return p.lps[i] }
 // Coord returns the coordinator simulator.
 func (p *Parallel) Coord() *Simulator { return p.coord }
 
-// Lookahead returns the epoch window width (the minimum cross-LP link
-// latency), or hugeLookahead when no remotes are registered.
+// Lookahead returns the minimum cross-LP link latency — the narrowest
+// entry of the pairwise lookahead matrix, and the worst-case epoch width —
+// or hugeLookahead when no remotes are registered.
 func (p *Parallel) Lookahead() units.Time { return p.look }
 
 // Processed returns the total events executed across the coordinator and
@@ -218,6 +312,30 @@ func (p *Parallel) Processed() uint64 {
 		n += s.Processed()
 	}
 	return n
+}
+
+// Epochs returns how many barrier epochs the scheduler has executed. It is
+// the denominator of the partition tax: fewer epochs per simulated second
+// means wider windows and less barrier/flush overhead per event.
+func (p *Parallel) Epochs() uint64 { return p.epochs }
+
+// LPBalance returns the busiest LP's processed-event count divided by the
+// per-LP mean: 1.0 is a perfectly balanced partition, K is one LP doing all
+// the work. Returns 0 before any event has been processed.
+func (p *Parallel) LPBalance() float64 {
+	var total, max uint64
+	for _, s := range p.lps {
+		n := s.Processed()
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 || len(p.lps) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(p.lps))
+	return float64(max) / mean
 }
 
 // HeapMax returns the largest single-simulator heap high-water mark across
@@ -234,7 +352,8 @@ func (p *Parallel) HeapMax() int {
 }
 
 // Reset clamps pooled memory on the coordinator and every LP (see
-// Simulator.Reset). Mailboxes are empty after any completed RunUntil.
+// Simulator.Reset). Mailboxes may still hold messages timestamped beyond
+// the last RunUntil deadline; they are preserved for a later RunUntil.
 func (p *Parallel) Reset() {
 	p.coord.Reset()
 	for _, s := range p.lps {
@@ -242,30 +361,61 @@ func (p *Parallel) Reset() {
 	}
 }
 
-// finalize freezes the topology: mailbox storage and the per-destination
-// sender lists are laid out once, from the registered remotes.
+// finalize freezes the topology: the per-pair edge set (with minimum
+// latencies), the double-buffered mailbox storage, and the initial claim
+// order are laid out once, from the registered remotes and weight hints.
 func (p *Parallel) finalize() {
 	if p.final {
 		return
 	}
 	p.final = true
 	k := len(p.lps)
-	p.boxes = make([][]remoteMsg, k*k)
-	p.senders = make([][]int32, k)
-	seen := make(map[int64]bool, len(p.remotes))
+	p.in = make([][]inEdge, k)
+	pair := make(map[int64]int32, len(p.remotes))
+	type edgeMeta struct {
+		src, dst int32
+		lat      units.Time
+	}
+	var edges []edgeMeta
 	for _, r := range p.remotes {
 		key := int64(r.src)<<32 | int64(r.dst)
-		if !seen[key] {
-			seen[key] = true
-			p.senders[r.dst] = append(p.senders[r.dst], r.src)
+		eid, ok := pair[key]
+		if !ok {
+			eid = int32(len(edges))
+			pair[key] = eid
+			edges = append(edges, edgeMeta{src: r.src, dst: r.dst, lat: r.minDelay})
+		} else if r.minDelay < edges[eid].lat {
+			edges[eid].lat = r.minDelay
 		}
+		r.eid = eid
 	}
-	for _, ss := range p.senders {
-		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	for eid, e := range edges {
+		p.in[e.dst] = append(p.in[e.dst], inEdge{src: e.src, eid: int32(eid), lat: e.lat})
+		p.edges = append(p.edges, flatEdge{src: e.src, dst: e.dst, lat: e.lat})
 	}
+	ne := len(edges)
+	p.curBoxes = make([][]remoteMsg, ne)
+	p.prevBoxes = make([][]remoteMsg, ne)
+	p.curMin = make([]units.Time, ne)
+	p.prevMin = make([]units.Time, ne)
+	for i := 0; i < ne; i++ {
+		p.curMin[i] = noMsg
+		p.prevMin[i] = noMsg
+	}
+	p.limits = make([]units.Time, k)
+	p.eff = make([]units.Time, k)
+	p.eot = make([]units.Time, k)
+	p.lastProc = make([]uint64, k)
 	p.order = make([]int32, k)
 	for i := range p.order {
 		p.order[i] = int32(i)
+	}
+	if p.weights != nil {
+		for len(p.weights) < k {
+			p.weights = append(p.weights, 0)
+		}
+		w := p.weights
+		sort.SliceStable(p.order, func(i, j int) bool { return w[p.order[i]] > w[p.order[j]] })
 	}
 }
 
@@ -284,22 +434,41 @@ func (p *Parallel) RunUntil(deadline units.Time) {
 	if w < 1 {
 		w = 1
 	}
+	if w > 1 && !p.forceParallel && runtime.GOMAXPROCS(0) == 1 {
+		// One P time-slices the workers through the spin barrier's Gosched,
+		// so the parallel machinery is pure overhead. Serial claiming does
+		// the identical work — results never depend on who runs an LP — at
+		// the serial engine's cost.
+		w = 1
+	}
 	p.nrun = w
 	if w > 1 {
+		if len(p.flags) < w {
+			p.flags = make([]joinFlag, w)
+		}
 		p.stopFlag.Store(false)
 		base := p.phaseSeq.Load()
-		for i := 0; i < w-1; i++ {
-			go p.workerLoop(base)
+		for i := 1; i < w; i++ {
+			go p.workerLoop(i, base)
 		}
 	}
 
 	for {
-		// Invariant: every mailbox is empty here, so the heaps hold the
-		// complete pending set and the window decision below is sound.
 		tg := p.coord.peekTime()
+		// Effective next time per LP: the heap head or the earliest
+		// undrained message addressed to it, whichever is earlier. This is
+		// both the coordinator-turn bound and each LP's earliest output
+		// time for the window computation below.
 		tlp := units.Time(-1)
-		for _, s := range p.lps {
-			if t := s.peekTime(); t >= 0 && (tlp < 0 || t < tlp) {
+		for i, s := range p.lps {
+			t := s.peekTime()
+			for _, e := range p.in[i] {
+				if m := p.curMin[e.eid]; m != noMsg && (t < 0 || m < t) {
+					t = m
+				}
+			}
+			p.eff[i] = t
+			if t >= 0 && (tlp < 0 || t < tlp) {
 				tlp = t
 			}
 		}
@@ -314,27 +483,68 @@ func (p *Parallel) RunUntil(deadline units.Time) {
 			// Coordinator turn: run every coordinator event up to tg with
 			// all LPs quiescent and their clocks advanced to tg, so a flow
 			// start or sampler sees each LP at the barrier time. All LP
-			// events below tg have already executed (tg <= tlp).
+			// events below tg have already executed (tg <= tlp), and every
+			// undrained message is timestamped >= tlp >= tg, so leaving
+			// mailboxes pending changes nothing the coordinator can see.
 			for _, s := range p.lps {
 				s.advanceTo(tg)
 			}
 			p.coord.RunUntil(tg)
-			p.drainAll()
 			continue
 		}
-		limit := tlp + p.look
-		if limit < tlp { // lookahead sentinel overflow
-			limit = deadline + 1
+		// Epoch: flip the mailbox buffers (O(1) slice-header swaps — the
+		// prev side is empty, every box was flushed last epoch), compute
+		// each LP's pairwise-lookahead window, and run the single fused
+		// drain+execute phase.
+		p.curBoxes, p.prevBoxes = p.prevBoxes, p.curBoxes
+		p.curMin, p.prevMin = p.prevMin, p.curMin
+		// Earliest output times are the fixed point of relaxing each LP's
+		// earliest event time along the latency matrix:
+		//
+		//	eot(i) = min(eff(i), min over edges j→i of eot(j) + lat(j,i))
+		//
+		// The single-step bound (eff alone) is unsound over multiple
+		// epochs: an LP idle *now* can be woken by a neighbour's output and
+		// reply earlier than the naive bound promises, so causality must be
+		// propagated transitively (Lubachevsky's bounded-lag argument —
+		// each LP is effectively bounded by its shortest active cycle, not
+		// by the single narrowest link). Positive latencies make this a
+		// shortest-path relaxation that converges in at most diameter+1
+		// passes; real topologies (stars, leaf–spine, fat-tree) take 2–5.
+		for i := range p.lps {
+			if t := p.eff[i]; t >= 0 {
+				p.eot[i] = t
+			} else {
+				p.eot[i] = noMsg
+			}
 		}
-		if tg >= 0 && tg < limit {
-			limit = tg
+		for changed := true; changed; {
+			changed = false
+			for _, e := range p.edges {
+				if t := p.eot[e.src]; t != noMsg {
+					if a := t + e.lat; a < p.eot[e.dst] {
+						p.eot[e.dst] = a
+						changed = true
+					}
+				}
+			}
 		}
-		if limit > deadline+1 {
-			limit = deadline + 1
+		for d := range p.lps {
+			lim := deadline + 1
+			if tg >= 0 && tg < lim {
+				lim = tg
+			}
+			for _, e := range p.in[d] {
+				if t := p.eot[e.src]; t != noMsg {
+					if a := t + e.lat; a < lim {
+						lim = a
+					}
+				}
+			}
+			p.limits[d] = lim
 		}
-		p.resortMaybe()
-		p.runPhase(phaseDesc{limit: limit})
-		p.runPhase(phaseDesc{drain: true})
+		p.rebalanceMaybe()
+		p.runEpoch()
 	}
 
 	for _, s := range p.lps {
@@ -343,23 +553,35 @@ func (p *Parallel) RunUntil(deadline units.Time) {
 	p.coord.RunUntil(deadline)
 
 	if w > 1 {
-		// Wake every spinning worker with the stop flag up, then join: a
-		// later RunUntil clears stopFlag, and a straggler from this run that
-		// observed the cleared flag would rejoin the new barrier as an extra
-		// participant and corrupt the done count.
+		// Wake every spinning worker with the stop flag up, then join
+		// through the arrival tree: a later RunUntil clears stopFlag, and a
+		// straggler from this run that observed the cleared flag would
+		// rejoin the new barrier as an extra participant.
 		p.stopFlag.Store(true)
-		p.done.Store(0)
-		p.phaseSeq.Add(1)
-		for p.done.Load() != int64(w-1) {
-			runtime.Gosched()
-		}
+		e := p.phaseSeq.Add(1)
+		p.join(0, e)
 	}
 }
 
-// workerLoop spins for published phases until the run raises stopFlag. seen
-// is the phase sequence at spawn; every later value is a fresh phase (or
-// the stop signal).
-func (p *Parallel) workerLoop(seen uint64) {
+// runEpoch publishes one fused drain+execute phase to every worker (the
+// caller participates) and joins the completion tree, which orders this
+// epoch's mailbox writes before the next epoch's flip and drains.
+func (p *Parallel) runEpoch() {
+	p.epochs++
+	p.cursor.Store(0)
+	if p.nrun > 1 {
+		e := p.phaseSeq.Add(1) // publishes limits/order/cursor to spinning workers
+		p.doPhase()
+		p.join(0, e)
+	} else {
+		p.doPhaseSerial()
+	}
+}
+
+// workerLoop spins for published epochs until the run raises stopFlag. id
+// is the participant's slot in the join tree; seen is the phase sequence at
+// spawn — every later value is a fresh epoch (or the stop signal).
+func (p *Parallel) workerLoop(id int, seen uint64) {
 	for {
 		seq := p.phaseSeq.Load()
 		for seq == seen {
@@ -372,40 +594,38 @@ func (p *Parallel) workerLoop(seen uint64) {
 		}
 		seen = seq
 		if p.stopFlag.Load() {
-			p.done.Add(1) // exit acknowledgement for the RunUntil join
+			p.join(id, seq) // exit acknowledgement for the RunUntil join
 			return
 		}
-		p.doPhase(p.curPhase)
-		p.done.Add(1)
+		p.doPhase()
+		p.join(id, seq)
 	}
 }
 
-// runPhase publishes one phase to every worker (the caller participates)
-// and spin-waits for all of them: the done counter is the epoch barrier
-// that orders mailbox writes before the drains that read them.
-func (p *Parallel) runPhase(ph phaseDesc) {
-	p.cursor.Store(0)
-	if p.nrun > 1 {
-		p.done.Store(0)
-		p.curPhase = ph
-		p.phaseSeq.Add(1) // publishes curPhase/cursor to spinning workers
-		p.doPhase(ph)
-		want := int64(p.nrun - 1)
-		for p.done.Load() != want {
-			for i := 0; i < 64 && p.done.Load() != want; i++ {
+// join is the tree-barrier arrival for participant id at epoch e: wait for
+// both children (slots 2id+1, 2id+2) to post e, then post e yourself. The
+// root (the coordinator, id 0) returning means every participant finished
+// the epoch; its next phaseSeq bump is the release.
+func (p *Parallel) join(id int, e uint64) {
+	for c := 2*id + 1; c <= 2*id+2 && c < p.nrun; c++ {
+		f := &p.flags[c].v
+		for f.Load() < e {
+			for i := 0; i < 64 && f.Load() < e; i++ {
 			}
-			if p.done.Load() != want {
+			if f.Load() < e {
 				runtime.Gosched()
 			}
 		}
-	} else {
-		p.doPhase(ph)
+	}
+	if id != 0 {
+		p.flags[id].v.Store(e)
 	}
 }
 
-// doPhase claims LPs off the shared cursor until none remain. Claim order
+// doPhase claims LPs off the shared cursor until none remain, flushing each
+// claimed LP's incoming mailboxes and then running its window. Claim order
 // follows p.order; which worker runs which LP is immaterial to results.
-func (p *Parallel) doPhase(ph phaseDesc) {
+func (p *Parallel) doPhase() {
 	k := int64(len(p.lps))
 	for {
 		i := p.cursor.Add(1) - 1
@@ -413,24 +633,28 @@ func (p *Parallel) doPhase(ph phaseDesc) {
 			return
 		}
 		li := int(p.order[i])
-		if ph.drain {
-			p.drainInto(li)
-		} else {
-			p.lps[li].runWindow(ph.limit)
-		}
+		p.drainPrevInto(li)
+		p.lps[li].runWindow(p.limits[li])
 	}
 }
 
-// drainInto moves every pending mailbox message addressed to LP dst into
-// its heap. Only the goroutine that claimed dst touches dst's heap, and the
-// per-destination insert order (source LP order, FIFO within a source) is
-// fixed — not that order matters: the reserved (at, seq) keys alone decide
-// execution order.
-func (p *Parallel) drainInto(dst int) {
+// doPhaseSerial is the one-participant fast path: same work as doPhase
+// without the shared-cursor atomics.
+func (p *Parallel) doPhaseSerial() {
+	for _, li := range p.order {
+		p.drainPrevInto(int(li))
+		p.lps[li].runWindow(p.limits[li])
+	}
+}
+
+// drainPrevInto flushes every previous-epoch mailbox addressed to LP dst
+// into its heap. Only the goroutine that claimed dst touches dst's heap or
+// its prev boxes, and insert order is immaterial: the reserved (at, seq)
+// keys alone decide execution order.
+func (p *Parallel) drainPrevInto(dst int) {
 	s := p.lps[dst]
-	k := len(p.lps)
-	for _, src := range p.senders[dst] {
-		box := &p.boxes[int(src)*k+dst]
+	for _, e := range p.in[dst] {
+		box := &p.prevBoxes[e.eid]
 		msgs := *box
 		if len(msgs) == 0 {
 			continue
@@ -441,29 +665,53 @@ func (p *Parallel) drainInto(dst int) {
 			*m = remoteMsg{}
 		}
 		*box = msgs[:0]
+		p.prevMin[e.eid] = noMsg
 	}
 }
 
-// drainAll drains every destination on the calling goroutine (coordinator
-// turns run with no workers active).
-func (p *Parallel) drainAll() {
+// drainAllPending flushes both mailbox buffers for every destination on the
+// calling goroutine. Only the total-order oracle needs it (the epoch
+// scheduler keeps messages pending until their destination's next window).
+func (p *Parallel) drainAllPending() {
 	for d := range p.lps {
-		p.drainInto(d)
+		p.drainPrevInto(d)
+		s := p.lps[d]
+		for _, e := range p.in[d] {
+			box := &p.curBoxes[e.eid]
+			msgs := *box
+			if len(msgs) == 0 {
+				continue
+			}
+			for i := range msgs {
+				m := &msgs[i]
+				s.atSeq(m.at, m.seq, m.act, m.arg, m.n)
+				*m = remoteMsg{}
+			}
+			*box = msgs[:0]
+			p.curMin[e.eid] = noMsg
+		}
 	}
 }
 
-// resortMaybe periodically reorders LP claiming heaviest-first by
-// cumulative processed events. Deterministic input, deterministic order;
-// and even a different order would change only wall-clock, never results.
-func (p *Parallel) resortMaybe() {
-	p.epochs++
-	if p.epochs&63 != 1 {
+// rebalanceMaybe periodically reorders LP claiming heaviest-first by the
+// events each LP processed since the previous rebalance — measured recent
+// load, which tracks workload shifts (an arriving burst, a draining
+// hotspot) that lifetime totals smear out. Deterministic input,
+// deterministic order; and even a different order would change only
+// wall-clock, never results.
+func (p *Parallel) rebalanceMaybe() {
+	if p.epochs&63 != 0 {
 		return
 	}
 	lps := p.lps
+	last := p.lastProc
 	sort.SliceStable(p.order, func(i, j int) bool {
-		return lps[p.order[i]].processed > lps[p.order[j]].processed
+		a, b := p.order[i], p.order[j]
+		return lps[a].processed-last[a] > lps[b].processed-last[b]
 	})
+	for i, s := range lps {
+		last[i] = s.processed
+	}
 }
 
 // runUntilTotalOrder executes the partitioned network one event at a time
@@ -476,7 +724,7 @@ func (p *Parallel) runUntilTotalOrder(deadline units.Time) {
 	}
 	p.finalize()
 	for {
-		p.drainAll()
+		p.drainAllPending()
 		var best *Simulator
 		bt := units.Time(-1)
 		var bseq uint64

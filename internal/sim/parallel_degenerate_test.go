@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsh/units"
+)
+
+// Degenerate LP shapes: more workers than LPs, a single-LP partition, and
+// an idle LP that never owns an event. Each shape runs under the total-order
+// oracle, the serial epoch engine, and an over-provisioned worker pool, and
+// must be bit-identical across all of them. These are the configurations
+// where barrier bookkeeping — not throughput — is what can go wrong:
+// workers with no LP to claim, a join tree of one, and an LP whose claimer
+// never drains or runs anything.
+
+// buildShape constructs a fixed mesh: nlps LPs, directed edges as
+// (src, dst, latency) triples, and two seed events on each LP listed in
+// active. LPs outside active never schedule anything themselves; they can
+// only ever run if a neighbour's send wakes them.
+func buildShape(workers, nlps int, edges [][3]int, active []int, horizon units.Time) *pmesh {
+	coord := New()
+	par := NewParallel(coord, workers)
+	par.forceParallel = true
+	m := &pmesh{par: par, coord: coord}
+	for i := 0; i < nlps; i++ {
+		s, _ := par.NewLP()
+		m.nodes = append(m.nodes, &pnode{
+			sim:     s,
+			rng:     rand.New(rand.NewSource(int64(i)*7919 + 1)),
+			horizon: horizon,
+		})
+	}
+	for _, e := range edges {
+		n := m.nodes[e[0]]
+		lat := units.Time(e[2])
+		n.outs = append(n.outs, par.NewRemote(n.sim, e[1], lat))
+		n.outLat = append(n.outLat, lat)
+		n.outDst = append(n.outDst, m.nodes[e[1]])
+	}
+	for _, i := range active {
+		n := m.nodes[i]
+		n.sim.ScheduleAction(units.Time(i), n, nil, int64(i))
+		n.sim.ScheduleAction(units.Time(10+i), n, nil, int64(100+i))
+	}
+	return m
+}
+
+// runShapeTrio runs the same shape under the oracle, one worker, and
+// `workers` workers, and requires bit-identical observables. It returns the
+// many-worker mesh for shape-specific assertions.
+func runShapeTrio(t *testing.T, build func(workers int) *pmesh, workers int, deadline units.Time) *pmesh {
+	t.Helper()
+	oracle := build(1)
+	oracle.par.runUntilTotalOrder(deadline)
+	want := oracle.state()
+
+	serial := build(1)
+	serial.par.RunUntil(deadline)
+	if got := serial.state(); !sameState(want, got) {
+		t.Fatalf("serial epoch run diverged from oracle\noracle: %+v\nserial: %+v", want, got)
+	}
+
+	wide := build(workers)
+	wide.par.RunUntil(deadline)
+	if got := wide.state(); !sameState(want, got) {
+		t.Fatalf("%d-worker run diverged from oracle\noracle: %+v\ngot:    %+v", workers, want, got)
+	}
+	return wide
+}
+
+// TestParallelMoreWorkersThanLPs over-provisions the pool: 8 workers, 2
+// LPs. RunUntil must cap the participant count at the LP count (extra
+// workers would join the tree with nothing to claim) and stay bit-identical
+// to serial.
+func TestParallelMoreWorkersThanLPs(t *testing.T) {
+	build := func(workers int) *pmesh {
+		return buildShape(workers, 2,
+			[][3]int{{0, 1, 3}, {1, 0, 5}}, []int{0, 1}, 400)
+	}
+	m := runShapeTrio(t, build, 8, 500)
+	if m.par.Processed() == 0 {
+		t.Fatal("mesh ran no events")
+	}
+}
+
+// TestParallelSingleLP partitions into exactly one LP and asks for 4
+// workers: the engine must degrade to the serial path (a join tree of one)
+// and match the oracle, with a coordinator periodically injecting work so
+// the coordinator-turn/epoch interleaving is exercised too.
+func TestParallelSingleLP(t *testing.T) {
+	build := func(workers int) *pmesh {
+		m := buildShape(workers, 1, nil, []int{0}, 400)
+		n := m.nodes[0]
+		var tick func()
+		tick = func() {
+			n.sim.AtAction(m.coord.Now()+7, n, nil, 424242)
+			if m.coord.Now() < 300 {
+				m.coord.Schedule(50, tick)
+			}
+		}
+		m.coord.Schedule(25, tick)
+		return m
+	}
+	m := runShapeTrio(t, build, 4, 500)
+	if m.nodes[0].sim.Processed() == 0 {
+		t.Fatal("single LP ran no events")
+	}
+}
+
+// TestParallelIdleLPNoStarvation registers a second LP that never owns an
+// event: LP 1's only role is an incoming-edge entry in LP 0's lookahead
+// row. The run must terminate (an idle LP must not stall the barrier), stay
+// bit-identical to serial, and — because an idle LP's earliest output time
+// is unbounded — LP 0's window must open to the full deadline: the whole
+// run takes one epoch, where a global-window engine would pay one epoch per
+// minimum link latency.
+func TestParallelIdleLPNoStarvation(t *testing.T) {
+	build := func(workers int) *pmesh {
+		return buildShape(workers, 2, [][3]int{{1, 0, 2}}, []int{0}, 400)
+	}
+	m := runShapeTrio(t, build, 4, 500)
+	if got := m.nodes[1].sim.Processed(); got != 0 {
+		t.Fatalf("idle LP processed %d events, want 0", got)
+	}
+	if m.nodes[0].sim.Processed() == 0 {
+		t.Fatal("active LP ran no events")
+	}
+	if e := m.par.Epochs(); e != 1 {
+		t.Fatalf("idle-LP shape took %d epochs, want 1 — the pairwise window did not open past the idle edge", e)
+	}
+}

@@ -73,6 +73,9 @@ func buildMesh(seed int64, workers int) *pmesh {
 	horizon := units.Time(500 + rng.Intn(1500))
 	coord := New()
 	par := NewParallel(coord, workers)
+	// Exercise the real barrier protocol even on a single-P box: the
+	// property tests are the coverage for the worker/join code paths.
+	par.forceParallel = true
 	m := &pmesh{par: par, coord: coord}
 	for i := 0; i < k; i++ {
 		s, _ := par.NewLP()

@@ -274,6 +274,24 @@ func (n *Network) HeapMax() int {
 	return n.Sim.HeapMax()
 }
 
+// Epochs returns the number of barrier epochs the partitioned engine ran,
+// or 0 on the classic single-simulator engine.
+func (n *Network) Epochs() uint64 {
+	if n.Par != nil {
+		return n.Par.Epochs()
+	}
+	return 0
+}
+
+// LPBalance returns the busiest-LP/mean processed-event ratio (see
+// sim.Parallel.LPBalance), or 0 on the classic engine.
+func (n *Network) LPBalance() float64 {
+	if n.Par != nil {
+		return n.Par.LPBalance()
+	}
+	return 0
+}
+
 // ResetSims clamps pooled event memory after a finished run (Simulator.Reset
 // across every simulator the network owns).
 func (n *Network) ResetSims() {
@@ -445,6 +463,7 @@ func (n *Network) newHost(rate units.BitRate) *host.Host {
 	id := len(n.Hosts)
 	if n.Par != nil {
 		n.hostLP = append(n.hostLP, int32(n.curLP))
+		n.Par.AddLPWeight(n.curLP, 1)
 	}
 	h := host.New(host.Config{
 		Sim:          n.buildSim(),
@@ -470,6 +489,10 @@ func (n *Network) newSwitch(name string, rates []units.BitRate) *switchdev.Switc
 	cfg := n.Cfg
 	if n.Par != nil {
 		n.switchLP = append(n.switchLP, int32(n.curLP))
+		// A switch's event load scales with its port count; hosts weigh 1.
+		// The hints only seed the engine's initial heaviest-first claim
+		// order — measured rebalancing takes over after the first interval.
+		n.Par.AddLPWeight(n.curLP, uint64(len(rates)))
 	}
 	etas := make([]units.ByteSize, len(rates))
 	props := make([]units.Time, len(rates))

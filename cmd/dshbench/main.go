@@ -7,7 +7,7 @@
 //	dshbench [flags] <experiment>
 //
 // Experiments: fig4, fig5, fig6, fig11, fig12, fig13, fig14, fig15,
-// theorem, fig10, ablation, faults, all.
+// theorem, fig10, ablation, faults, scale, all.
 //
 // Flags:
 //
@@ -19,6 +19,8 @@
 //	-lp-workers N  partition each simulation into logical processes and run
 //	           them on N workers (0 = classic single-heap engine; results
 //	           are identical for any N ≥ 1 — see DESIGN.md §9)
+//	-fidelity F    simulation granularity for the scale experiment: packet,
+//	           flow (the default), or hybrid — see DESIGN.md §13
 //	-quiet     suppress progress lines
 //	-json      print the experiment's canonical result JSON (the dshserve
 //	           result format) instead of tables
@@ -47,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all cores)")
 	lpWorkers := flag.Int("lp-workers", 0, "intra-run LP workers per simulation (0 = classic engine)")
 	faultsSpec := flag.String("faults", "", "fault scenario JSON for the faults experiment (default: built-in fault classes)")
+	fidelity := flag.String("fidelity", "", "simulation granularity for the scale experiment: packet, flow (the default), or hybrid")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	jsonOut := flag.Bool("json", false, "print the experiment's canonical result JSON (the dshserve result format) instead of tables")
 	benchJSON := flag.String("bench-json", "", "run the perf kernel suite and write the JSON report to this path ('-' for stdout)")
@@ -124,7 +127,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := dshsim.ExpOptions{Full: *full, Seed: *seed, Workers: *workers, LPWorkers: *lpWorkers}
+	opt := dshsim.ExpOptions{Full: *full, Seed: *seed, Workers: *workers, LPWorkers: *lpWorkers, Fidelity: *fidelity}
 	if !*quiet {
 		// One mutex serialises result lines and progress lines: with
 		// -workers > 1 the progress callback fires from worker goroutines.
@@ -160,12 +163,25 @@ func main() {
 		"fig10":    runFig10,
 		"ablation": runAblation,
 		"faults":   func(opt dshsim.ExpOptions) { runFaults(opt, *faultsSpec) },
+		"scale":    runScale,
 	}
 	name := flag.Arg(0)
 	if *faultsSpec != "" && name != "faults" && name != "all" {
 		fmt.Fprintf(os.Stderr, "dshbench: -faults only applies to the faults experiment\n\n")
 		usage()
 		os.Exit(2)
+	}
+	if *fidelity != "" {
+		if !dshsim.ValidFidelity(*fidelity) {
+			fmt.Fprintf(os.Stderr, "dshbench: unknown fidelity %q (want packet, flow, or hybrid)\n\n", *fidelity)
+			usage()
+			os.Exit(2)
+		}
+		if name != "scale" && name != "all" {
+			fmt.Fprintf(os.Stderr, "dshbench: -fidelity only applies to the scale experiment\n\n")
+			usage()
+			os.Exit(2)
+		}
 	}
 	if *jsonOut {
 		// The canonical JSON path is serve.Execute — the exact function the
@@ -180,7 +196,7 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
-		sp := serve.Spec{Family: name, Full: *full, Seed: *seed, Workers: *workers, LPWorkers: *lpWorkers}
+		sp := serve.Spec{Family: name, Full: *full, Seed: *seed, Workers: *workers, LPWorkers: *lpWorkers, Fidelity: *fidelity}
 		if *faultsSpec != "" {
 			sc, err := dshsim.ParseFaultScenario(*faultsSpec)
 			if err != nil {
@@ -198,7 +214,7 @@ func main() {
 		return
 	}
 	if name == "all" {
-		for _, n := range []string{"fig4", "theorem", "fig10", "fig11", "fig13", "fig6", "fig5", "fig12", "fig14", "fig15", "ablation", "faults"} {
+		for _, n := range []string{"fig4", "theorem", "fig10", "fig11", "fig13", "fig6", "fig5", "fig12", "fig14", "fig15", "ablation", "faults", "scale"} {
 			runOne(n, experiments[n], opt)
 		}
 		return
@@ -232,7 +248,8 @@ func runBenchJSON(path string) error {
 
 // runBenchDiff compares two bench reports and prints the table; it returns
 // false when any kernel regressed beyond the tolerance or, with strict set,
-// when the new report violates its own checked-in alloc/event/heap budgets.
+// when the new report violates its own checked-in alloc/event/heap budgets
+// or dropped a kernel the baseline still carries.
 func runBenchDiff(oldPath, newPath string, tol float64, strict bool) (bool, error) {
 	load := func(path string) (benchkit.Report, error) {
 		f, err := os.Open(path)
@@ -260,6 +277,14 @@ func runBenchDiff(oldPath, newPath string, tol float64, strict bool) (bool, erro
 		// would pass WriteJSON but must still fail the gate here.
 		if err := newR.Validate(); err != nil {
 			fmt.Printf("strict: new report violates budgets: %v\n", err)
+			ok = false
+		}
+		// A kernel present in the baseline but gone from the candidate took
+		// its budgets with it — a gate that silently stopped running. Strict
+		// mode fails on that; removing a kernel requires refreshing the
+		// committed baseline in the same change.
+		for _, name := range benchkit.MissingFromNew(lines) {
+			fmt.Printf("strict: kernel %s is in the baseline but missing from the candidate report — its budgets are no longer enforced\n", name)
 			ok = false
 		}
 		// A single-core runner cannot measure parallel speedup, so the
@@ -301,6 +326,9 @@ experiments:
   faults   fault-injection sweep: DSH vs SIH under link flaps, pause storms,
            slow NICs, latency skew, and routing loops (-faults F replaces the
            built-in classes with a scenario JSON)
+  scale    FCT distributions at 10⁴→10⁶ flows, DSH vs SIH (-fidelity selects
+           packet, flow, or hybrid granularity; flow is the default and the
+           only one that reaches 10⁶ flows in reasonable time)
   all      everything above
 `)
 }
@@ -463,6 +491,19 @@ func runFaults(opt dshsim.ExpOptions, specPath string) {
 		fmt.Printf("%-9s %-6s %12v %12v %12v %6d %9d %9d %8v %10s\n",
 			r.Fault, r.Scheme, r.AvgBgFCT, r.P99BgFCT, r.AvgFaninFCT,
 			r.Unfinished, r.Drops, r.WireDrops, r.Deadlocked, onset)
+	}
+}
+
+func runScale(opt dshsim.ExpOptions) {
+	rows := dshsim.Scale(opt)
+	fmt.Printf("%-9s %-8s %10s %6s | %12s %12s %12s | %12s %12s %12s\n",
+		"target", "fidelity", "flows", "unfin",
+		"SIH p50", "SIH p99", "SIH paused", "DSH p50", "DSH p99", "DSH paused")
+	for _, r := range rows {
+		fmt.Printf("%-9d %-8s %10d %6d | %12v %12v %12v | %12v %12v %12v\n",
+			r.TargetFlows, r.Fidelity, r.Flows, r.SIH.Unfinished+r.DSH.Unfinished,
+			r.SIH.P50, r.SIH.P99, r.SIH.PausedTime,
+			r.DSH.P50, r.DSH.P99, r.DSH.PausedTime)
 	}
 }
 

@@ -178,6 +178,41 @@ func fatTreePoint(b *testing.B, lpWorkers int) {
 	reportEngineCounters(b, st, lpWorkers)
 }
 
+// scaleBenchTarget is the flow count of the fidelity kernel pair: the
+// 10⁵-flow point of the scale family, the scale at which the flow-level
+// fast-forwarder's ≥50× speedup claim is recorded and gated.
+const scaleBenchTarget = 100_000
+
+// ScalePointPacket measures one 10⁵-flow scale point (DSH, DCQCN,
+// leaf–spine) at packet fidelity — the baseline of the fidelity speedup
+// pair, and the slowest kernel in the suite by design: its ns/op is the
+// cost the flow-level engine fast-forwards away.
+func ScalePointPacket(b *testing.B) { scalePoint(b, dshsim.FidelityPacket) }
+
+// ScalePointFlow measures the same 10⁵-flow scale point at flow fidelity.
+// collect() derives fidelity_speedup (packet ns/op ÷ flow ns/op, floor 50×)
+// and the fct_err_p50/p99 accuracy fields from this pair.
+func ScalePointFlow(b *testing.B) { scalePoint(b, dshsim.FidelityFlow) }
+
+func scalePoint(b *testing.B, fidelity string) {
+	st := &dshsim.SweepStats{}
+	var last dshsim.ScaleSchemeStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats, flows, _ := dshsim.ScalePoint(dshsim.DSH, fidelity, scaleBenchTarget, 1, 0, st)
+		if stats.Completed == 0 || flows == 0 {
+			b.Fatalf("scale point at %s fidelity completed no flows", fidelity)
+		}
+		last = stats
+	}
+	b.ReportMetric(float64(st.Events())/float64(b.N), "events/op")
+	b.ReportMetric(float64(st.HeapMax()), "heap_max")
+	// FCT percentiles (µs) ride along so collect() can derive the
+	// flow-vs-packet error fields without a second run of either engine.
+	b.ReportMetric(float64(last.P50)/float64(units.Microsecond), "fct_p50")
+	b.ReportMetric(float64(last.P99)/float64(units.Microsecond), "fct_p99")
+}
+
 // reportEngineCounters emits the engine metrics every kernel reports, plus
 // the partitioned-engine counters (barrier epochs per op and the measured
 // LP balance ratio) on the LP kernels.

@@ -15,7 +15,9 @@ type DiffLine struct {
 	Delta      float64
 	Regression bool
 	// MissingIn names the report the kernel is absent from ("" when present
-	// in both); missing kernels are reported but never fail the diff.
+	// in both). Missing kernels never count as ns/op regressions; a kernel
+	// missing from the *new* report (a silently dropped gate) fails
+	// bench-diff -strict via MissingFromNew.
 	MissingIn string
 }
 
@@ -53,6 +55,20 @@ func Diff(oldR, newR Report, tol float64) []DiffLine {
 		}
 	}
 	return lines
+}
+
+// MissingFromNew returns the kernels present in the baseline but absent
+// from the candidate report. A dropped kernel silently drops its budgets
+// with it, so strict mode treats every name here as a failure — deleting a
+// kernel must come with a baseline refresh, not slip through a diff.
+func MissingFromNew(lines []DiffLine) []string {
+	var names []string
+	for _, l := range lines {
+		if l.MissingIn == "new" {
+			names = append(names, l.Name)
+		}
+	}
+	return names
 }
 
 // Regressions filters a diff down to the failing lines.

@@ -1,0 +1,55 @@
+package benchkit
+
+import (
+	"reflect"
+	"testing"
+)
+
+func diffReport(names ...string) Report {
+	r := Report{Schema: SchemaVersion, GoVersion: "go", GOOS: "linux",
+		GOARCH: "amd64", NumCPU: 1}
+	for _, n := range names {
+		r.Benchmarks = append(r.Benchmarks, BenchResult{Name: n, Iterations: 1, NsPerOp: 100})
+	}
+	return r
+}
+
+// TestDiffRegression pins the tolerance arithmetic: new ns/op beyond
+// old·(1+tol) regresses, anything at or under it does not.
+func TestDiffRegression(t *testing.T) {
+	oldR := diffReport("A", "B")
+	newR := diffReport("A", "B")
+	newR.Benchmarks[0].NsPerOp = 130 // exactly at 30% tolerance
+	newR.Benchmarks[1].NsPerOp = 131
+	lines := Diff(oldR, newR, 0.3)
+	regs := Regressions(lines)
+	if len(regs) != 1 || regs[0].Name != "B" {
+		t.Fatalf("Regressions = %+v, want exactly B", regs)
+	}
+}
+
+// TestDiffMissingKernels pins the satellite contract behind bench-diff
+// -strict: a kernel dropped from the candidate report is surfaced by
+// MissingFromNew (so strict mode can fail on it — its budgets silently
+// stopped being enforced), while a kernel newly added is reported but
+// never failing.
+func TestDiffMissingKernels(t *testing.T) {
+	oldR := diffReport("A", "Dropped")
+	newR := diffReport("A", "Added")
+	lines := Diff(oldR, newR, 0.3)
+	if regs := Regressions(lines); len(regs) != 0 {
+		t.Fatalf("missing kernels must not count as ns/op regressions: %+v", regs)
+	}
+	if got := MissingFromNew(lines); !reflect.DeepEqual(got, []string{"Dropped"}) {
+		t.Fatalf("MissingFromNew = %v, want [Dropped]", got)
+	}
+	var added []string
+	for _, l := range lines {
+		if l.MissingIn == "old" {
+			added = append(added, l.Name)
+		}
+	}
+	if !reflect.DeepEqual(added, []string{"Added"}) {
+		t.Fatalf("kernels only in the candidate = %v, want [Added]", added)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"testing"
 )
@@ -13,13 +14,16 @@ import (
 // v2 added events_processed / heap_max and their budgets; v3 added num_cpu
 // and the lp_workers / lp_speedup fields of the intra-run parallelism
 // kernels; v4 added lp_overhead_ratio, epochs, and lp_balance for the
-// pairwise-lookahead engine plus the fat-tree kernel pair.
-const SchemaVersion = "dsh-bench/v4"
+// pairwise-lookahead engine plus the fat-tree kernel pair; v5 added
+// fidelity, fidelity_speedup, fct_p50/p99, and fct_err_p50/p99 for the
+// flow-level fast-forwarding kernel pair.
+const SchemaVersion = "dsh-bench/v5"
 
-// schemaV3, schemaV2, and schemaV1 are previous layouts, still accepted by
-// ReadReport so bench-diff can compare against older baselines (absent
-// fields read back as zero).
+// schemaV4 … schemaV1 are previous layouts, still accepted by ReadReport so
+// bench-diff can compare against older baselines (absent fields read back
+// as zero).
 const (
+	schemaV4 = "dsh-bench/v4"
 	schemaV3 = "dsh-bench/v3"
 	schemaV2 = "dsh-bench/v2"
 	schemaV1 = "dsh-bench/v1"
@@ -68,6 +72,29 @@ type BenchResult struct {
 	// the measured claim-order rebalancing works against.
 	Epochs    float64 `json:"epochs,omitempty"`
 	LPBalance float64 `json:"lp_balance,omitempty"`
+	// Fidelity (v5) is the simulation granularity a scale kernel ran at
+	// ("packet" or "flow"; empty for the non-fidelity kernels).
+	// FidelitySpeedup, set on the flow kernel of the packet/flow pair, is
+	// packet ns/op divided by flow ns/op — the fast-forwarding headline.
+	// Unlike lp_speedup it compares two serial runs, so the
+	// FidelitySpeedupBudget floor is enforced on any host, single-core
+	// included.
+	Fidelity              string   `json:"fidelity,omitempty"`
+	FidelitySpeedup       *float64 `json:"fidelity_speedup,omitempty"`
+	FidelitySpeedupBudget *float64 `json:"fidelity_speedup_budget,omitempty"`
+	// FctP50/FctP99 (v5) are the kernel's FCT percentiles in microseconds
+	// (the "fct_p50"/"fct_p99" metrics of the scale kernels); zero for
+	// kernels that do not measure FCTs. FctErrP50/FctErrP99, set on the flow
+	// kernel, are its signed relative percentile errors against the packet
+	// twin; the budgets bound their magnitude (Validate enforces |err| ≤
+	// budget), so an accuracy regression in the fluid model fails CI the
+	// same way a perf regression would.
+	FctP50          float64  `json:"fct_p50,omitempty"`
+	FctP99          float64  `json:"fct_p99,omitempty"`
+	FctErrP50       *float64 `json:"fct_err_p50,omitempty"`
+	FctErrP99       *float64 `json:"fct_err_p99,omitempty"`
+	FctErrP50Budget *float64 `json:"fct_err_p50_budget,omitempty"`
+	FctErrP99Budget *float64 `json:"fct_err_p99_budget,omitempty"`
 }
 
 // allocBudgets are the checked-in allocs/op ceilings enforced by Validate.
@@ -87,6 +114,12 @@ var allocBudgets = map[string]float64{
 	// the ceilings are per-op construction costs, not steady-state leaks.
 	"FatTreePoint":    72_000,  // measured 65,331 (PR 8)
 	"FatTreePointLP4": 115_000, // measured 103,888 (PR 8): +1024 LP sims + mailboxes
+	// The fidelity pair schedules ~10⁵ flows per op, so both ceilings are
+	// dominated by workload generation and per-flow state (~1.3 allocs per
+	// flow), not steady-state leaks; the flow kernel's ceiling additionally
+	// pins that the fluid engine allocates nothing per recompute event.
+	"ScalePointPacket": 145_000, // measured 131,635 (PR 9)
+	"ScalePointFlow":   145_000, // measured 128,138 (PR 9)
 }
 
 // eventBudgets cap events processed per op. Event counts are deterministic
@@ -102,6 +135,11 @@ var eventBudgets = map[string]float64{
 	"Fig11PointLP4":   690_000,    // measured 616,772 (PR 5); ~0.7% over serial from mailbox re-inserts
 	"FatTreePoint":    34_000_000, // measured 30,779,527 (PR 8)
 	"FatTreePointLP4": 34_000_000, // measured 30,756,495 (PR 8)
+	// The flow kernel's event count is the fast-forwarding claim in its
+	// rawest form: ~2.4 recompute events per flow instead of ~2000 packet
+	// events — the two ceilings differ by ~800×.
+	"ScalePointPacket": 225_000_000, // measured 203,351,913 (PR 9)
+	"ScalePointFlow":   270_000,     // measured 243,412 (PR 9)
 }
 
 // heapMaxBudgets cap the event heap's high-water mark, the observable the
@@ -118,6 +156,11 @@ var heapMaxBudgets = map[string]float64{
 	"Fig11PointLP4":   470,    // measured 358 (PR 5): cross-LP packets are heap events, not channel slots
 	"FatTreePoint":    24_000, // measured 18,119 (PR 8): one heap for 1024 hosts
 	"FatTreePointLP4": 22_000, // measured 16,517 (PR 8): summed across ~320 per-LP heaps
+	// The flow engine has no Sim event heap at all (its completion heap
+	// lives inside flowsim and is not Sim-accounted), so only the packet
+	// kernel carries a heap ceiling — it scales with standing flows, not
+	// topology, at this flow count.
+	"ScalePointPacket": 150_000, // measured 113,527 (PR 9)
 }
 
 // Report is the schema-stable document emitted by `make bench-json` /
@@ -149,6 +192,27 @@ var lpPairs = [][2]string{
 	{"FatTreePoint", "FatTreePointLP4"},
 }
 
+// fidelityPairs lists the packet/flow kernel pairs (packet first) that
+// deriveFidelity annotates; the floor is the PR 9 acceptance target: the
+// flow-level fast-forwarder must run the 10⁵-flow scale point at least
+// 50× faster than the packet engine (measured ~214×). Both kernels are
+// serial, so the floor holds on any host and is always enforced.
+var fidelityPairs = [][2]string{
+	{"ScalePointPacket", "ScalePointFlow"},
+}
+
+var fidelitySpeedupFloor = 50.0
+
+// fctErrP50Budget / fctErrP99Budget bound the flow kernel's FCT-percentile
+// error magnitude against its packet twin — the documented flow-fidelity
+// accuracy budgets (DESIGN.md §13). The fluid model is a lower-bound-ish
+// approximation (it skips per-packet serialization jitter), so the tail
+// budget is looser than the median one.
+var (
+	fctErrP50Budget = 0.25
+	fctErrP99Budget = 0.50
+)
+
 // kernel names a benchmark function for programmatic collection.
 type kernel struct {
 	name string
@@ -168,6 +232,8 @@ func defaultKernels() []kernel {
 		{"Fig11", Fig11},
 		{"FatTreePoint", FatTreePoint},
 		{"FatTreePointLP4", FatTreePointLP4},
+		{"ScalePointFlow", ScalePointFlow},
+		{"ScalePointPacket", ScalePointPacket},
 	}
 }
 
@@ -195,6 +261,8 @@ func collect(kernels []kernel) Report {
 			HeapMax:         r.Extra["heap_max"],
 			Epochs:          r.Extra["epochs"],
 			LPBalance:       r.Extra["lp_balance"],
+			FctP50:          r.Extra["fct_p50"],
+			FctP99:          r.Extra["fct_p99"],
 		}
 		if budget, ok := allocBudgets[k.name]; ok {
 			br.AllocBudget = &budget
@@ -208,6 +276,7 @@ func collect(kernels []kernel) Report {
 		rep.Benchmarks = append(rep.Benchmarks, br)
 	}
 	deriveSpeedup(&rep)
+	deriveFidelity(&rep)
 	return rep
 }
 
@@ -235,6 +304,35 @@ func deriveSpeedup(rep *Report) {
 		if rep.NumCPU >= speedupMinCPUs {
 			floor := lpSpeedupFloor
 			par.LPSpeedupBudget = &floor
+		}
+	}
+}
+
+// deriveFidelity annotates the flow kernel of each packet/flow pair with
+// fidelity_speedup (packet ns/op ÷ flow ns/op), its always-enforced ≥50×
+// floor, and the signed relative FCT-percentile errors with their accuracy
+// budgets. Both kernels get their fidelity recorded.
+func deriveFidelity(rep *Report) {
+	byName := make(map[string]*BenchResult, len(rep.Benchmarks))
+	for i := range rep.Benchmarks {
+		byName[rep.Benchmarks[i].Name] = &rep.Benchmarks[i]
+	}
+	for _, pair := range fidelityPairs {
+		packet, flow := byName[pair[0]], byName[pair[1]]
+		if packet == nil || flow == nil || packet.NsPerOp <= 0 || flow.NsPerOp <= 0 {
+			continue
+		}
+		packet.Fidelity, flow.Fidelity = "packet", "flow"
+		sp := packet.NsPerOp / flow.NsPerOp
+		flow.FidelitySpeedup = &sp
+		floor := fidelitySpeedupFloor
+		flow.FidelitySpeedupBudget = &floor
+		if packet.FctP50 > 0 && packet.FctP99 > 0 {
+			e50 := (flow.FctP50 - packet.FctP50) / packet.FctP50
+			e99 := (flow.FctP99 - packet.FctP99) / packet.FctP99
+			b50, b99 := fctErrP50Budget, fctErrP99Budget
+			flow.FctErrP50, flow.FctErrP99 = &e50, &e99
+			flow.FctErrP50Budget, flow.FctErrP99Budget = &b50, &b99
 		}
 	}
 }
@@ -317,6 +415,33 @@ func (r Report) Validate() error {
 					b.Name, *b.LPSpeedup, *b.LPSpeedupBudget)
 			}
 		}
+		if b.FidelitySpeedupBudget != nil {
+			if b.FidelitySpeedup == nil {
+				return fmt.Errorf("benchmark %s: fidelity_speedup_budget set without fidelity_speedup", b.Name)
+			}
+			if *b.FidelitySpeedup < *b.FidelitySpeedupBudget {
+				return fmt.Errorf("benchmark %s: fidelity_speedup %.1f below the %.0fx floor — the flow-level fast-forwarder stopped fast-forwarding (per-flow work crept into the recompute path?)",
+					b.Name, *b.FidelitySpeedup, *b.FidelitySpeedupBudget)
+			}
+		}
+		if b.FctErrP50Budget != nil {
+			if b.FctErrP50 == nil {
+				return fmt.Errorf("benchmark %s: fct_err_p50_budget set without fct_err_p50", b.Name)
+			}
+			if math.Abs(*b.FctErrP50) > *b.FctErrP50Budget {
+				return fmt.Errorf("benchmark %s: |fct_err_p50| %.3f exceeds the %.2f accuracy budget — the fluid model drifted from the packet engine",
+					b.Name, *b.FctErrP50, *b.FctErrP50Budget)
+			}
+		}
+		if b.FctErrP99Budget != nil {
+			if b.FctErrP99 == nil {
+				return fmt.Errorf("benchmark %s: fct_err_p99_budget set without fct_err_p99", b.Name)
+			}
+			if math.Abs(*b.FctErrP99) > *b.FctErrP99Budget {
+				return fmt.Errorf("benchmark %s: |fct_err_p99| %.3f exceeds the %.2f accuracy budget — the fluid model's tail drifted from the packet engine",
+					b.Name, *b.FctErrP99, *b.FctErrP99Budget)
+			}
+		}
 	}
 	return nil
 }
@@ -332,16 +457,16 @@ func (r Report) WriteJSON(w io.Writer) error {
 }
 
 // ReadReport decodes a report for comparison. It accepts the current schema
-// plus v3, v2, and v1 (whose newer fields read back as zero), so bench-diff
-// can baseline against reports emitted before the counters or the LP
-// kernels existed.
+// plus v4 through v1 (whose newer fields read back as zero), so bench-diff
+// can baseline against reports emitted before the counters, the LP kernels,
+// or the fidelity kernels existed.
 func ReadReport(rd io.Reader) (Report, error) {
 	var r Report
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return Report{}, fmt.Errorf("benchkit: parsing report: %w", err)
 	}
 	switch r.Schema {
-	case SchemaVersion, schemaV3, schemaV2, schemaV1:
+	case SchemaVersion, schemaV4, schemaV3, schemaV2, schemaV1:
 	default:
 		return Report{}, fmt.Errorf("benchkit: unsupported schema %q", r.Schema)
 	}

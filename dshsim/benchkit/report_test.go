@@ -207,16 +207,79 @@ func TestUngatedNotes(t *testing.T) {
 	}
 }
 
-// TestReadReportAcceptsV3 keeps bench-diff working against the committed
-// pre-v4 baselines (BENCH_PR5.json is dsh-bench/v3).
-func TestReadReportAcceptsV3(t *testing.T) {
-	doc := `{"schema":"dsh-bench/v3","go_version":"go","goos":"linux","goarch":"amd64",` +
-		`"num_cpu":1,"benchmarks":[{"name":"Fast","iterations":1,"ns_per_op":1}]}`
-	r, err := ReadReport(strings.NewReader(doc))
-	if err != nil {
-		t.Fatalf("ReadReport rejected a v3 baseline: %v", err)
+// TestReadReportAcceptsOldSchemas keeps bench-diff working against the
+// committed pre-v5 baselines (BENCH_PR5.json is v3, BENCH_PR8.json is v4).
+func TestReadReportAcceptsOldSchemas(t *testing.T) {
+	for _, schema := range []string{"dsh-bench/v3", "dsh-bench/v4"} {
+		doc := `{"schema":"` + schema + `","go_version":"go","goos":"linux","goarch":"amd64",` +
+			`"num_cpu":1,"benchmarks":[{"name":"Fast","iterations":1,"ns_per_op":1}]}`
+		r, err := ReadReport(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("ReadReport rejected a %s baseline: %v", schema, err)
+		}
+		if r.Benchmarks[0].Name != "Fast" {
+			t.Fatalf("bad decode: %+v", r)
+		}
 	}
-	if r.Benchmarks[0].Name != "Fast" {
-		t.Fatalf("bad decode: %+v", r)
+}
+
+// TestDeriveFidelity pins the v5 contract for the packet/flow kernel pair:
+// the speedup ratio and its ≥50× floor are attached regardless of core
+// count (two serial runs), the FCT-error fields carry their accuracy
+// budgets, and Validate enforces both directions.
+func TestDeriveFidelity(t *testing.T) {
+	rep := Report{
+		Schema: SchemaVersion, GoVersion: "go", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 1, // single-core: the fidelity floor must attach anyway
+		Benchmarks: []BenchResult{
+			{Name: "ScalePointPacket", Iterations: 1, NsPerOp: 60_000, FctP50: 100, FctP99: 500},
+			{Name: "ScalePointFlow", Iterations: 1, NsPerOp: 600, FctP50: 90, FctP99: 400},
+		},
+	}
+	deriveFidelity(&rep)
+	packet, flow := rep.Benchmarks[0], rep.Benchmarks[1]
+	if packet.Fidelity != "packet" || flow.Fidelity != "flow" {
+		t.Fatalf("fidelities not recorded: %q / %q", packet.Fidelity, flow.Fidelity)
+	}
+	if flow.FidelitySpeedup == nil || *flow.FidelitySpeedup != 100 {
+		t.Fatalf("speedup not derived: %+v", flow)
+	}
+	if flow.FidelitySpeedupBudget == nil || *flow.FidelitySpeedupBudget != fidelitySpeedupFloor {
+		t.Fatal("fidelity speedup floor not attached on a single-core report")
+	}
+	if flow.FctErrP50 == nil || *flow.FctErrP50 != -0.1 {
+		t.Fatalf("fct_err_p50 not derived: %+v", flow.FctErrP50)
+	}
+	if flow.FctErrP99 == nil || *flow.FctErrP99 != -0.2 {
+		t.Fatalf("fct_err_p99 not derived: %+v", flow.FctErrP99)
+	}
+	if flow.FctErrP50Budget == nil || flow.FctErrP99Budget == nil {
+		t.Fatal("accuracy budgets not attached")
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("in-budget fidelity pair must validate: %v", err)
+	}
+
+	// Below the speedup floor → fail.
+	slow := rep
+	slow.Benchmarks = append([]BenchResult(nil), rep.Benchmarks...)
+	slow.Benchmarks[1].NsPerOp = 30_000
+	slow.Benchmarks[1].FidelitySpeedup, slow.Benchmarks[1].FidelitySpeedupBudget = nil, nil
+	deriveFidelity(&slow)
+	if err := slow.Validate(); err == nil {
+		t.Fatal("Validate accepted a 2x fidelity speedup against the 50x floor")
+	}
+
+	// Outside an accuracy budget → fail (error magnitude, either sign).
+	for _, mut := range []func(*BenchResult){
+		func(b *BenchResult) { e := 0.9; b.FctErrP50 = &e },
+		func(b *BenchResult) { e := -0.9; b.FctErrP99 = &e },
+	} {
+		bad := rep
+		bad.Benchmarks = append([]BenchResult(nil), rep.Benchmarks...)
+		mut(&bad.Benchmarks[1])
+		if err := bad.Validate(); err == nil {
+			t.Fatal("Validate accepted an out-of-budget FCT error")
+		}
 	}
 }

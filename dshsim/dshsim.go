@@ -260,6 +260,18 @@ type RunConfig struct {
 	// DeadlockConfirm the consecutive-positive-scan threshold (default 3).
 	DeadlockInterval units.Time
 	DeadlockConfirm  int
+	// Fidelity selects the simulation granularity: FidelityPacket (default)
+	// simulates every packet; FidelityFlow fast-forwards every flow at fluid
+	// granularity (see internal/flowsim); FidelityHybrid re-simulates flows
+	// crossing contended hotspots at packet granularity and fast-forwards
+	// the rest, stitching boundary flows in as rate-limited sources
+	// (DESIGN.md §13). Flow and hybrid fidelities reject fault scripts and
+	// deadlock detection — those are packet-level phenomena.
+	Fidelity string
+	// FlowQuantum overrides the flow-level engine's rate-recompute
+	// coalescing interval (default flowsim.DefaultQuantum). Larger quanta
+	// trade FCT accuracy for speed at extreme flow counts.
+	FlowQuantum units.Time
 }
 
 // Flow re-exports the transport flow for hooks and custom schedules.
@@ -301,6 +313,14 @@ type Result struct {
 	// must be set); DeadlockOnset is its onset time, -1 when none.
 	Deadlocked    bool
 	DeadlockOnset units.Time
+	// Fidelity echoes the granularity the run executed at ("" = packet).
+	Fidelity string
+	// HotLinks counts the links the flow-level pass flagged as contended
+	// hotspots (flow and hybrid fidelities only).
+	HotLinks int
+	// PacketFlows is how many flows the hybrid mode re-simulated at packet
+	// granularity (hot flows plus rate-limited boundary sources).
+	PacketFlows int
 }
 
 // Run executes a flow schedule on a network built by one of the New*
@@ -316,6 +336,23 @@ func Run(net *Network, rc RunConfig) *Result {
 	}
 	st.ran = true
 
+	switch rc.Fidelity {
+	case "", FidelityPacket:
+		return runPacket(net, st, rc, nil)
+	case FidelityFlow:
+		return runFlowLevel(net, st, rc)
+	case FidelityHybrid:
+		return runHybrid(net, st, rc)
+	default:
+		panic(fmt.Sprintf("dshsim: unknown fidelity %q", rc.Fidelity))
+	}
+}
+
+// runPacket is the packet-granularity path (the only one before fidelity
+// modes existed). rateCap, when non-nil, caps spec i's injection rate at
+// rateCap[i] via a transport.RateLimited controller instead of the
+// network's transport — the hybrid mode's boundary-flow stitching.
+func runPacket(net *Network, st *runState, rc RunConfig, rateCap []units.BitRate) *Result {
 	if rc.LPWorkers > 0 && net.Par != nil {
 		net.Par.SetWorkers(rc.LPWorkers)
 	}
@@ -374,6 +411,7 @@ func Run(net *Network, rc RunConfig) *Result {
 		specs:   rc.Specs,
 		tagIDs:  tagIDs,
 		factory: newFactory(net, st.nc.Transport, st.nc.baseRTT()),
+		rateCap: rateCap,
 		pools:   make([]transport.FlowPool, K),
 	}
 	started := len(rc.Specs)
@@ -476,6 +514,10 @@ type flowStarter struct {
 	specs   []workload.FlowSpec
 	tagIDs  []int32
 	factory transport.Factory
+	// rateCap, when non-nil, replaces spec i's controller with a
+	// RateLimited pacer at rateCap[i] (hybrid boundary stitching); zero
+	// entries keep the network transport.
+	rateCap []units.BitRate
 	// pools holds one flow pool per logical process (a single pool on a
 	// classic network), indexed by the flow's source LP.
 	pools []transport.FlowPool
@@ -489,7 +531,11 @@ func (fs *flowStarter) Run(_ any, n int64) {
 	f.Class, f.Size, f.Start, f.Tag = sp.Class, sp.Size, sp.Start, sp.Tag
 	f.TagID = fs.tagIDs[n]
 	f.FinishedAt = -1
-	f.CC = fs.factory(f)
+	if fs.rateCap != nil && fs.rateCap[n] > 0 {
+		f.CC = transport.NewRateLimited(fs.rateCap[n])
+	} else {
+		f.CC = fs.factory(f)
+	}
 	fs.net.StartFlow(f)
 }
 

@@ -44,6 +44,11 @@ type ExpOptions struct {
 	// order, so they may differ from the classic (zero) engine at exact
 	// sampling instants. See NetworkConfig.LPWorkers.
 	LPWorkers int
+	// Fidelity selects the simulation granularity for the families that
+	// support it (currently the scale family; see RunConfig.Fidelity).
+	// Empty means each family's default — packet everywhere except scale,
+	// which defaults to flow.
+	Fidelity string
 
 	// testFabric and testLoads are seams for the in-package parallel≡serial
 	// equivalence tests: they shrink the leaf–spine fabric and the Fig. 14

@@ -74,6 +74,7 @@ var familyRunners = map[string]func(ExpOptions) any{
 		}
 	},
 	"faults": func(o ExpOptions) any { return Faults(o) },
+	"scale":  func(o ExpOptions) any { return Scale(o) },
 }
 
 // Families returns the registered family names, sorted.

@@ -10,7 +10,7 @@ import (
 // a family added to one but not the other is a drift bug.
 func TestFamiliesMatchDshbench(t *testing.T) {
 	want := []string{"ablation", "faults", "fig10", "fig11", "fig12", "fig13",
-		"fig14", "fig15", "fig4", "fig5", "fig6", "theorem"}
+		"fig14", "fig15", "fig4", "fig5", "fig6", "scale", "theorem"}
 	if got := Families(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Families() = %v, want %v", got, want)
 	}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"dsh/units"
+)
+
+// TestFluidPauseOrdering: DSH reclaims the static per-queue reservations
+// into the shared pool, so under identical burst pressure its pause
+// threshold sits higher and the bursting queues take strictly longer to
+// reach it than under SIH — across both theorem regimes and a range of
+// congested-queue counts.
+func TestFluidPauseOrdering(t *testing.T) {
+	for _, r := range []float64{1.5, 4, 16, 40} {
+		for _, n := range []int{0, 2, 8} {
+			s := paperScenario()
+			s.R, s.N = r, n
+			dsh := s.FluidPauseTime("DSH")
+			sih := s.FluidPauseTime("SIH")
+			if dsh <= sih {
+				t.Errorf("R=%v N=%d: DSH pause at %v not after SIH at %v", r, n, dsh, sih)
+			}
+		}
+	}
+}
+
+// TestFluidNoCrossingWithinHorizon: when the horizon ends before the
+// bursting queues reach the pause threshold, FluidTrace must report the
+// crossing as +Inf — not clamp it to the horizon — and still return the
+// sampled prefix of the evolution.
+func TestFluidNoCrossingWithinHorizon(t *testing.T) {
+	s := paperScenario()
+	// The full crossing takes ~αBs/(M(R−1)) normalized bytes at minimum;
+	// a horizon of 1/1000 of the buffer is far short of it.
+	horizon := float64(s.Buffer) / 1000
+	pts, crossing := s.FluidTrace("DSH", horizon/100, horizon)
+	if !math.IsInf(crossing, 1) {
+		t.Fatalf("crossing = %v, want +Inf for a truncated horizon", crossing)
+	}
+	if len(pts) == 0 {
+		t.Fatal("truncated trace returned no points")
+	}
+	last := pts[len(pts)-1]
+	if last.QBurst >= last.XOff {
+		t.Fatalf("trace reports no crossing but final burst queue %v ≥ XOff %v",
+			last.QBurst, last.XOff)
+	}
+	// And the wall-clock wrapper maps the sentinel to MaxInt64.
+	tiny := s
+	tiny.R = 1.0 + 1e-9 // burst grows so slowly the 4B horizon ends first
+	if got := tiny.FluidPauseTime("SIH"); got != units.Time(math.MaxInt64) {
+		t.Fatalf("FluidPauseTime without a crossing = %v, want MaxInt64", got)
+	}
+}
+
+// TestFluidStepConvergence: explicit Euler with crossing detection at step
+// boundaries is first-order — the crossing-time error against the closed
+// form must be bounded by a small multiple of the step at every
+// refinement, and the finest estimate must sit within 1% of the closed
+// form.
+func TestFluidStepConvergence(t *testing.T) {
+	s := paperScenario()
+	horizon := 4 * float64(s.Buffer)
+	closed, err := s.DSHMaxBurstBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DSHMaxBurstBytes is burst volume (R·t); the crossing is at t.
+	exact := float64(closed) / s.R
+	steps := []float64{
+		float64(s.Buffer) / 1e4,
+		float64(s.Buffer) / 2e4,
+		float64(s.Buffer) / 4e4,
+		float64(s.Buffer) / 8e4,
+	}
+	var finest float64
+	for _, h := range steps {
+		_, c := s.FluidTrace("DSH", h, horizon)
+		if math.IsInf(c, 1) {
+			t.Fatalf("step %v: no crossing within horizon", h)
+		}
+		if e := math.Abs(c - exact); e > 4*h {
+			t.Errorf("step %v: crossing error %v exceeds 4·step", h, e)
+		}
+		finest = c
+	}
+	ratio := finest / exact
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("finest-step crossing %v vs closed form %v (ratio %.5f)", finest, exact, ratio)
+	}
+}

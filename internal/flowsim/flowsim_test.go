@@ -1,0 +1,218 @@
+package flowsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dsh/units"
+)
+
+// twoHop builds host→switch→host: link 0 is the host NIC egress, link 1 the
+// switch egress toward the receiver (the only PFC-modelled port).
+func twoHop(shared units.ByteSize, xoffDelta units.ByteSize) Config {
+	return Config{
+		Links: []Link{
+			{Cap: 100 * units.Gbps, Prop: 2 * units.Microsecond, Switch: -1},
+			{Cap: 100 * units.Gbps, Prop: 2 * units.Microsecond, Switch: 0, XoffDelta: xoffDelta},
+		},
+		Switches:   []Switch{{Shared: shared, Alpha: 1.0 / 16}},
+		MTU:        1500,
+		Header:     48,
+		ConvWindow: 16 * units.Microsecond,
+	}
+}
+
+func TestSingleFlowFCT(t *testing.T) {
+	cfg := twoHop(14*units.MB, 0)
+	size := units.ByteSize(1_452_000) // 1000 full payloads
+	res := Run(cfg, []Spec{{ID: 1, Size: size, Start: 0, Path: []int32{0, 1}}}, 0)
+	fr := res.Flows[0]
+	if fr.FCT < 0 {
+		t.Fatal("flow did not finish")
+	}
+	// Wire bytes = 1000 packets × 1500 B at 100 Gbps = 120 µs, plus the
+	// fixed latency offset (propagation + per-hop store-and-forward).
+	transfer := units.TransmissionTime(1000*1500, 100*units.Gbps)
+	if fr.FCT < transfer {
+		t.Fatalf("FCT %v below pure serialization %v", fr.FCT, transfer)
+	}
+	if fr.FCT > transfer+20*units.Microsecond {
+		t.Fatalf("FCT %v too far above serialization %v", fr.FCT, transfer)
+	}
+	if res.Unfinished != 0 || res.PauseEvents != 0 {
+		t.Fatalf("unexpected unfinished=%d pauses=%d", res.Unfinished, res.PauseEvents)
+	}
+}
+
+// TestFairSharing: two flows over one bottleneck each take twice as long as
+// a lone flow (max-min gives each half the line rate).
+func TestFairSharing(t *testing.T) {
+	cfg := Config{
+		Links: []Link{
+			{Cap: 100 * units.Gbps, Prop: units.Microsecond, Switch: -1},
+			{Cap: 100 * units.Gbps, Prop: units.Microsecond, Switch: -1},
+			{Cap: 100 * units.Gbps, Prop: units.Microsecond, Switch: 0},
+		},
+		Switches: []Switch{{Shared: 14 * units.MB, Alpha: 1.0 / 16}},
+		MTU:      1500, Header: 48,
+	}
+	size := units.ByteSize(14_520_000) // 10k payloads ≈ 1.2 ms at line rate
+	solo := Run(cfg, []Spec{{ID: 1, Size: size, Path: []int32{0, 2}}}, 0)
+	pair := Run(cfg, []Spec{
+		{ID: 1, Size: size, Path: []int32{0, 2}},
+		{ID: 2, Size: size, Path: []int32{1, 2}},
+	}, 0)
+	fctSolo := solo.Flows[0].FCT
+	for i, fr := range pair.Flows {
+		if fr.FCT < 0 {
+			t.Fatalf("flow %d unfinished", i)
+		}
+		ratio := float64(fr.FCT) / float64(fctSolo)
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("flow %d FCT ratio %.3f, want ≈2 (fair halving)", i, ratio)
+		}
+	}
+}
+
+// TestWaterfillAsymmetric pins exact progressive filling on the classic
+// three-flow example: A on l1 (cap C), B on l1+l2 (l2 cap 2C), C on l2.
+// Max-min: A=B=C/2 on l1; flow C gets the l2 residue 1.5C — but its access
+// link caps it at C... here paths are direct so C's rate is 1.5C? No: every
+// link on C's path is l2-only at 2C, so C gets min(2C − B, per-round) = 1.5C.
+func TestWaterfillAsymmetric(t *testing.T) {
+	C := 100 * units.Gbps
+	cfg := Config{
+		Links: []Link{
+			{Cap: C, Prop: units.Microsecond, Switch: -1},     // l1
+			{Cap: 2 * C, Prop: units.Microsecond, Switch: -1}, // l2
+		},
+		MTU: 1500, Header: 48,
+	}
+	size := units.ByteSize(14_520_000)
+	res := Run(cfg, []Spec{
+		{ID: 1, Size: size, Path: []int32{0}},    // A
+		{ID: 2, Size: size, Path: []int32{0, 1}}, // B
+		{ID: 3, Size: size, Path: []int32{1}},    // C
+	}, 0)
+	a, b, c := res.Flows[0].FCT, res.Flows[1].FCT, res.Flows[2].FCT
+	if a < 0 || b < 0 || c < 0 {
+		t.Fatal("unfinished flows")
+	}
+	// A and B share l1 at C/2; C runs at 1.5C. FCT ratio c/a ≈ (1/1.5)/(1/0.5) = 1/3.
+	ratio := float64(c) / float64(a)
+	if ratio < 0.28 || ratio > 0.40 {
+		t.Errorf("C/A FCT ratio %.3f, want ≈1/3 (rate 1.5C vs 0.5C)", ratio)
+	}
+	if math.Abs(float64(a)-float64(b))/float64(a) > 0.05 {
+		t.Errorf("A and B should finish together: %v vs %v", a, b)
+	}
+}
+
+// incastSpecs: fanIn senders, one packet-heavy burst into one port.
+func incastCfg(shared units.ByteSize, xoffDelta units.ByteSize, fanIn int) (Config, []Spec) {
+	cfg := Config{
+		Switches:   []Switch{{Shared: shared, Alpha: 1.0 / 16}},
+		MTU:        1500,
+		Header:     48,
+		ConvWindow: 16 * units.Microsecond,
+	}
+	// fanIn sender NICs plus the victim egress port.
+	for i := 0; i < fanIn; i++ {
+		cfg.Links = append(cfg.Links, Link{Cap: 100 * units.Gbps, Prop: 2 * units.Microsecond, Switch: -1})
+	}
+	victim := int32(fanIn)
+	cfg.Links = append(cfg.Links, Link{Cap: 100 * units.Gbps, Prop: 2 * units.Microsecond, Switch: 0, XoffDelta: xoffDelta})
+	specs := make([]Spec, fanIn)
+	for i := range specs {
+		specs[i] = Spec{ID: i + 1, Size: 512 * units.KB, Start: 0, Path: []int32{int32(i), victim}}
+	}
+	return cfg, specs
+}
+
+// TestIncastPause: a hard fan-in overwhelms the victim port's DT threshold
+// and must trigger PFC pauses and the hot flag.
+func TestIncastPause(t *testing.T) {
+	cfg, specs := incastCfg(3*units.MB, 0, 64)
+	res := Run(cfg, specs, 0)
+	if res.PauseEvents == 0 {
+		t.Fatal("64:1 incast produced no pause events")
+	}
+	if !res.Hot[len(cfg.Links)-1] {
+		t.Fatal("victim port not flagged hot")
+	}
+	if res.PausedTime == 0 {
+		t.Fatal("no stall time accrued")
+	}
+}
+
+// TestSchemeOrdering: with SIH's far smaller shared segment (B − P·Nq·η)
+// the DT threshold sits lower, so the same incast pauses more than under
+// DSH's B − P·η pool. This is the paper's core claim reproduced at flow
+// level.
+func TestSchemeOrdering(t *testing.T) {
+	const eta = 56840 * units.ByteSize(1)
+	// 32-port switch: DSH shared = 16MB − 32η ≈ 14.2MB, Xoff = T − η;
+	// SIH shared = 16MB − 32·7·η ≈ 3.3MB, Xoff = T.
+	dshShared := 16*units.MB - 32*eta
+	sihShared := 16*units.MB - 32*7*eta
+	cfgD, specsD := incastCfg(dshShared, eta, 64)
+	cfgS, specsS := incastCfg(sihShared, 0, 64)
+	resD := Run(cfgD, specsD, 0)
+	resS := Run(cfgS, specsS, 0)
+	if resS.PausedTime <= resD.PausedTime {
+		t.Fatalf("SIH paused %v, DSH %v; want SIH > DSH", resS.PausedTime, resD.PausedTime)
+	}
+}
+
+// TestDeterminism: identical inputs must produce identical outputs.
+func TestDeterminism(t *testing.T) {
+	cfg, specs := incastCfg(3*units.MB, 0, 32)
+	a := Run(cfg, specs, 0)
+	b := Run(cfg, specs, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs diverged")
+	}
+}
+
+// TestHorizonUnfinished: a flow that cannot finish inside the horizon is
+// reported unfinished with FCT −1, mirroring the packet engine.
+func TestHorizonUnfinished(t *testing.T) {
+	cfg := twoHop(14*units.MB, 0)
+	res := Run(cfg, []Spec{{ID: 1, Size: 100 * units.MB, Start: 0, Path: []int32{0, 1}}},
+		100*units.Microsecond)
+	if res.Unfinished != 1 {
+		t.Fatalf("Unfinished = %d, want 1", res.Unfinished)
+	}
+	if res.Flows[0].FCT >= 0 || res.Flows[0].Finish >= 0 {
+		t.Fatalf("unfinished flow has FCT %v", res.Flows[0].FCT)
+	}
+}
+
+// TestLateArrivalSqueeze: a second flow arriving mid-transfer halves the
+// first flow's remaining rate — the event-driven recompute must pick this
+// up without a full restart.
+func TestLateArrivalSqueeze(t *testing.T) {
+	cfg := Config{
+		Links: []Link{
+			{Cap: 100 * units.Gbps, Prop: units.Microsecond, Switch: -1},
+			{Cap: 100 * units.Gbps, Prop: units.Microsecond, Switch: -1},
+			{Cap: 100 * units.Gbps, Prop: units.Microsecond, Switch: 0},
+		},
+		Switches: []Switch{{Shared: 14 * units.MB, Alpha: 1.0 / 16}},
+		MTU:      1500, Header: 48,
+	}
+	size := units.ByteSize(14_520_000) // ~1.2 ms solo
+	solo := Run(cfg, []Spec{{ID: 1, Size: size, Path: []int32{0, 2}}}, 0)
+	fctSolo := solo.Flows[0].FCT
+	res := Run(cfg, []Spec{
+		{ID: 1, Size: size, Path: []int32{0, 2}},
+		{ID: 2, Size: size, Start: units.Time(fctSolo) / 2, Path: []int32{1, 2}},
+	}, 0)
+	first := res.Flows[0].FCT
+	// First flow: half its bytes at full rate, half at half rate → ≈1.5×.
+	ratio := float64(first) / float64(fctSolo)
+	if ratio < 1.35 || ratio > 1.65 {
+		t.Errorf("squeezed FCT ratio %.3f, want ≈1.5", ratio)
+	}
+}

@@ -296,6 +296,28 @@ func (ft *FlatTable) NextHops(node, dst int) []int {
 	return ports
 }
 
+// PortFor returns the egress port node uses toward dst for the given flow
+// ID, using the same head/arena loads and ECMP hash as NodeTable.Route. It
+// exists so flow-level simulation (internal/flowsim) can walk the exact
+// path a packet of that flow would take without materialising a packet.
+// It panics when node has no route to dst, matching Route.
+func (ft *FlatTable) PortFor(node, dst, flowID int) int {
+	c := ft.col(dst)
+	if c < 0 {
+		panic(fmt.Sprintf("routing: node %d has no route to host %d", node, dst))
+	}
+	h := ft.heads[node*ft.numHosts+c]
+	n := h & headLenMask
+	switch n {
+	case 0:
+		panic(fmt.Sprintf("routing: node %d has no route to host %d", node, dst))
+	case 1:
+		return int(ft.arena[h>>headLenBits])
+	default:
+		return int(ft.arena[uint64(h>>headLenBits)+ecmpHash(flowID)%n])
+	}
+}
+
 // NodeTable is one node's forwarding view into a FlatTable: its row of head
 // words plus the shared arena. It is a small value; its Route method is the
 // function installed on switches.

@@ -52,6 +52,7 @@ func Execute(sp Spec, codeVersion string, progress func(dshsim.SweepProgress)) (
 		Seed:      sp.Seed,
 		Workers:   sp.Workers,
 		LPWorkers: sp.LPWorkers,
+		Fidelity:  sp.Fidelity,
 		Progress:  progress,
 	}
 	rows, err := dshsim.RunFamily(sp.Family, opt, sp.Faults)

@@ -55,6 +55,11 @@ type Spec struct {
 	// headroom mode: "SIH" or "DSH", case-insensitive; empty keeps both.
 	// It changes the rows a result contains, so it is semantic.
 	Scheme string `json:"scheme,omitempty"`
+	// Fidelity selects the simulation granularity of the scale family
+	// ("packet", "flow", or "hybrid"; empty = the family default). It
+	// changes every FCT a result contains, so it is semantic — and being
+	// omitempty everywhere, pre-fidelity specs keep their content keys.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Faults replaces the built-in fault classes of the faults family.
 	Faults *dshsim.FaultScenario `json:"faults,omitempty"`
 
@@ -84,6 +89,7 @@ func ParseSpec(data []byte) (Spec, error) {
 func (sp Spec) Normalized() Spec {
 	sp.Family = strings.ToLower(strings.TrimSpace(sp.Family))
 	sp.Scheme = strings.ToUpper(strings.TrimSpace(sp.Scheme))
+	sp.Fidelity = strings.ToLower(strings.TrimSpace(sp.Fidelity))
 	if sp.Seed == 0 {
 		sp.Seed = 1
 	}
@@ -114,6 +120,14 @@ func (sp Spec) Validate() error {
 	default:
 		return fmt.Errorf("serve: unknown scheme %q (want SIH or DSH)", sp.Scheme)
 	}
+	if sp.Fidelity != "" {
+		if !dshsim.ValidFidelity(sp.Fidelity) {
+			return fmt.Errorf("serve: unknown fidelity %q (want one of %v)", sp.Fidelity, dshsim.Fidelities())
+		}
+		if sp.Family != "scale" {
+			return fmt.Errorf("serve: family %q has no fidelity dimension; the fidelity knob applies to scale only", sp.Family)
+		}
+	}
 	if sp.Faults != nil && sp.Family != "faults" {
 		return fmt.Errorf("serve: family %q does not accept a fault scenario", sp.Family)
 	}
@@ -127,13 +141,14 @@ func (sp Spec) Validate() error {
 // reaches the hash, only the decoded and normalized struct does, which is
 // what makes key order and default-field omission irrelevant.
 type keySpec struct {
-	Schema string                `json:"schema"`
-	Code   string                `json:"code"`
-	Family string                `json:"family"`
-	Full   bool                  `json:"full,omitempty"`
-	Seed   int64                 `json:"seed"`
-	Scheme string                `json:"scheme,omitempty"`
-	Faults *dshsim.FaultScenario `json:"faults,omitempty"`
+	Schema   string                `json:"schema"`
+	Code     string                `json:"code"`
+	Family   string                `json:"family"`
+	Full     bool                  `json:"full,omitempty"`
+	Seed     int64                 `json:"seed"`
+	Scheme   string                `json:"scheme,omitempty"`
+	Fidelity string                `json:"fidelity,omitempty"`
+	Faults   *dshsim.FaultScenario `json:"faults,omitempty"`
 }
 
 // Key returns the content address of the spec's result under the given
@@ -141,13 +156,14 @@ type keySpec struct {
 // must already be normalized.
 func (sp Spec) Key(codeVersion string) string {
 	b, err := json.Marshal(keySpec{
-		Schema: KeySchema,
-		Code:   codeVersion,
-		Family: sp.Family,
-		Full:   sp.Full,
-		Seed:   sp.Seed,
-		Scheme: sp.Scheme,
-		Faults: sp.Faults,
+		Schema:   KeySchema,
+		Code:     codeVersion,
+		Family:   sp.Family,
+		Full:     sp.Full,
+		Seed:     sp.Seed,
+		Scheme:   sp.Scheme,
+		Fidelity: sp.Fidelity,
+		Faults:   sp.Faults,
 	})
 	if err != nil {
 		// keySpec is a closed struct of marshalable fields; this is
@@ -162,12 +178,13 @@ func (sp Spec) Key(codeVersion string) string {
 // as canonical JSON — the form echoed inside result envelopes.
 func (sp Spec) CanonicalJSON() json.RawMessage {
 	b, err := json.Marshal(struct {
-		Family string                `json:"family"`
-		Full   bool                  `json:"full,omitempty"`
-		Seed   int64                 `json:"seed"`
-		Scheme string                `json:"scheme,omitempty"`
-		Faults *dshsim.FaultScenario `json:"faults,omitempty"`
-	}{sp.Family, sp.Full, sp.Seed, sp.Scheme, sp.Faults})
+		Family   string                `json:"family"`
+		Full     bool                  `json:"full,omitempty"`
+		Seed     int64                 `json:"seed"`
+		Scheme   string                `json:"scheme,omitempty"`
+		Fidelity string                `json:"fidelity,omitempty"`
+		Faults   *dshsim.FaultScenario `json:"faults,omitempty"`
+	}{sp.Family, sp.Full, sp.Seed, sp.Scheme, sp.Fidelity, sp.Faults})
 	if err != nil {
 		panic(fmt.Sprintf("serve: canonical spec encoding failed: %v", err))
 	}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -151,6 +153,49 @@ func TestKeyExcludesExecutionKnobs(t *testing.T) {
 	}
 }
 
+// TestKeyFidelitySemantic: fidelity selects the simulation granularity —
+// every FCT in the result differs across modes — so it must split the key;
+// and because it is omitempty in the canonical encoding, an empty fidelity
+// must leave the pre-fidelity keys of every existing cached spec intact.
+func TestKeyFidelitySemantic(t *testing.T) {
+	keys := map[string]string{}
+	for _, f := range []string{"", "packet", "flow", "hybrid"} {
+		sp := Spec{Family: "scale", Seed: 1, Fidelity: f}.Normalized()
+		if f != "" {
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("fidelity %q: unexpectedly invalid: %v", f, err)
+			}
+		}
+		k := sp.Key(testVersion)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("fidelity %q: key collides with %q", f, prev)
+		}
+		keys[k] = f
+	}
+	// Case-folding on the wire: "FLOW" and "flow" are the same experiment.
+	a := Spec{Family: "scale", Fidelity: "FLOW"}.Normalized().Key(testVersion)
+	b := Spec{Family: "scale", Fidelity: "flow"}.Normalized().Key(testVersion)
+	if a != b {
+		t.Error("fidelity case-folding leaked into the key")
+	}
+	// The key of a spec with no fidelity must be byte-for-byte the hash of
+	// the pre-fidelity encoding (no new field emitted when empty), so old
+	// cache entries stay addressable.
+	old := Spec{Family: "fig11", Seed: 1}.Normalized()
+	if got := old.Key(testVersion); got != oldSchemaKey(t, old) {
+		t.Error("empty fidelity changed the canonical encoding of existing specs")
+	}
+}
+
+// oldSchemaKey reproduces the pre-fidelity hash input by hand.
+func oldSchemaKey(t *testing.T, sp Spec) string {
+	t.Helper()
+	doc := fmt.Sprintf(`{"schema":%q,"code":%q,"family":%q,"seed":%d}`,
+		KeySchema, testVersion, sp.Family, sp.Seed)
+	sum := sha256.Sum256([]byte(doc))
+	return hex.EncodeToString(sum[:])
+}
+
 func TestParseSpecRejectsUnknownFields(t *testing.T) {
 	if _, err := ParseSpec([]byte(`{"family":"fig11","sheme":"DSH"}`)); err == nil {
 		t.Fatal("ParseSpec accepted a misspelled field")
@@ -165,6 +210,8 @@ func TestValidate(t *testing.T) {
 		{Family: "fig11", Faults: &dshsim.FaultScenario{Name: "x"}},
 		{Family: "fig11", Workers: -1},
 		{Family: "fig11", LPWorkers: -2},
+		{Family: "fig11", Fidelity: "flow"}, // fidelity is a scale-only knob
+		{Family: "scale", Fidelity: "fluid"},
 	}
 	for _, sp := range bad {
 		if err := sp.Normalized().Validate(); err == nil {
@@ -176,6 +223,7 @@ func TestValidate(t *testing.T) {
 		{Family: "fig12", Scheme: "sih"},
 		{Family: "faults", Scheme: "DSH", Faults: &dshsim.FaultScenario{Name: "x"}},
 		{Family: "fig11", Workers: 8, LPWorkers: 4, Full: true, Seed: 3},
+		{Family: "scale", Fidelity: "hybrid"},
 	}
 	for _, sp := range good {
 		if err := sp.Normalized().Validate(); err != nil {

@@ -161,6 +161,10 @@ type Network struct {
 
 	peers map[endpoint]endpoint
 
+	// flat is the dense ECMP table built by ComputeRoutes; flowsim walks it
+	// to reproduce packet-identical per-flow paths.
+	flat *routing.FlatTable
+
 	startAct startFlowAction
 
 	// Per-LP build state (partitioned mode): the simulator and packet pool
@@ -393,10 +397,16 @@ func (n *Network) ComputeRoutes() {
 		hosts[i] = i
 	}
 	ft := routing.ComputeFlat(n.NumNodes(), n.Links, hosts)
+	n.flat = ft
 	for i, sw := range n.Switches {
 		sw.SetRoute(ft.Node(n.SwitchNode(i)).Route)
 	}
 }
+
+// FlatRoutes returns the dense ECMP table installed by ComputeRoutes (nil
+// before routes are computed). Flow-level simulation walks it to derive the
+// exact per-flow path a packet would take.
+func (n *Network) FlatRoutes() *routing.FlatTable { return n.flat }
 
 // StartFlow starts a flow now: it registers receive-side state on the
 // destination host and hands the flow to the source host. The flow must

@@ -93,6 +93,43 @@ func (*LineRate) OnAck(units.Time, *Flow, *packet.Packet) {}
 // OnCNP implements CongestionControl.
 func (*LineRate) OnCNP(units.Time, *Flow) {}
 
+// RateLimited paces a flow at a fixed bit rate, independent of ACK clocking.
+// The hybrid fidelity mode (dshsim) uses it to stitch flow-level boundary
+// flows into a packet-level hotspot re-simulation: the boundary flow's
+// average rate from the flow-level pass becomes its injection rate here, so
+// it exerts the right load on shared links without its own control loop.
+type RateLimited struct {
+	rate units.BitRate
+	next units.Time
+}
+
+// NewRateLimited returns a pacer capped at rate; a non-positive rate means
+// uncapped (line-rate) sending.
+func NewRateLimited(rate units.BitRate) *RateLimited { return &RateLimited{rate: rate} }
+
+// AllowSend implements CongestionControl: packets are released on a token
+// schedule derived from the configured rate.
+func (r *RateLimited) AllowSend(now units.Time, _ *Flow, _ units.ByteSize) (bool, units.Time) {
+	if r.rate <= 0 || now >= r.next {
+		return true, 0
+	}
+	return false, r.next
+}
+
+// OnSend implements CongestionControl: the next packet is eligible one
+// payload serialization (at the capped rate) after this one.
+func (r *RateLimited) OnSend(now units.Time, _ *Flow, payload units.ByteSize) {
+	if r.rate > 0 {
+		r.next = now + units.TransmissionTime(payload, r.rate)
+	}
+}
+
+// OnAck implements CongestionControl.
+func (*RateLimited) OnAck(units.Time, *Flow, *packet.Packet) {}
+
+// OnCNP implements CongestionControl.
+func (*RateLimited) OnCNP(units.Time, *Flow) {}
+
 // Factory builds a controller per flow. Implementations typically capture
 // the simulator and link parameters.
 type Factory func(f *Flow) CongestionControl

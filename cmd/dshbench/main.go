@@ -34,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -56,10 +57,16 @@ func main() {
 	benchDiff := flag.Bool("bench-diff", false, "compare two bench reports: dshbench -bench-diff OLD.json NEW.json (exit 1 on regression)")
 	benchTol := flag.Float64("bench-tolerance", 0.3, "relative ns/op slowdown tolerated by -bench-diff")
 	benchStrict := flag.Bool("strict", false, "with -bench-diff: also fail on allocs/op, events/op, or heap budget violations in the new report")
+	tracePath := flag.String("trace", "", "with the capture subcommand: write the .dshtrace packet trace to this path")
+	version := flag.Bool("version", false, "print the build-info code version (the one baked into dshserve cache keys) and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (at exit) to this path")
 	flag.Usage = usage
 	flag.Parse()
+	if *version {
+		fmt.Println(serve.CodeVersion())
+		return
+	}
 	for _, bad := range []struct {
 		name string
 		neg  bool
@@ -121,6 +128,35 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if flag.NArg() > 0 {
+		switch flag.Arg(0) {
+		case "capture":
+			if flag.NArg() != 2 || *tracePath == "" {
+				fmt.Fprintln(os.Stderr, "capture: want dshbench -trace FILE capture <scenario>")
+				fmt.Fprintf(os.Stderr, "scenarios: %s\n", strings.Join(dshsim.TraceScenarios(), ", "))
+				os.Exit(2)
+			}
+			if err := runCapture(flag.Arg(1), *seed, *tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "capture: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "replay":
+			if flag.NArg() != 2 {
+				fmt.Fprintln(os.Stderr, "replay: want dshbench replay <file.dshtrace>")
+				os.Exit(2)
+			}
+			if err := runReplay(flag.Arg(1)); err != nil {
+				fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	if *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "dshbench: -trace only applies to the capture subcommand")
+		os.Exit(2)
 	}
 	if flag.NArg() != 1 {
 		usage()
@@ -287,6 +323,13 @@ func runBenchDiff(oldPath, newPath string, tol float64, strict bool) (bool, erro
 			fmt.Printf("strict: kernel %s is in the baseline but missing from the candidate report — its budgets are no longer enforced\n", name)
 			ok = false
 		}
+		// Encode sizes are deterministic, so any growth against the baseline
+		// is a real format regression — no tolerance, same severity as a
+		// budget violation.
+		for _, l := range benchkit.EncodedGrowth(lines) {
+			fmt.Printf("strict: kernel %s encoded output grew from %.0f to %.0f bytes\n", l.Name, l.OldEncoded, l.NewEncoded)
+			ok = false
+		}
 		// A single-core runner cannot measure parallel speedup, so the
 		// ≥1.8x lp_speedup floor is not attached there. Passing silently
 		// would look like the floor held; say out loud that it never ran.
@@ -295,6 +338,42 @@ func runBenchDiff(oldPath, newPath string, tol float64, strict bool) (bool, erro
 		}
 	}
 	return ok, nil
+}
+
+// runCapture records the named scenario as a packed .dshtrace file. The
+// file is an io.WriteSeeker, so the header's frame count is patched in on
+// close — readers of a complete capture can detect truncation exactly.
+func runCapture(scenario string, seed int64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	frames, err := dshsim.CaptureTrace(scenario, seed, f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("captured %d frames of scenario %q (seed %d) to %s\n", frames, scenario, seed, path)
+	return nil
+}
+
+// runReplay re-runs the scenario named in the trace header and verifies
+// the live run reproduces the captured stream bit for bit.
+func runReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := dshsim.ReplayTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed scenario %q (seed %d): %d frames bit-identical\n", rep.Scenario, rep.Seed, rep.Frames)
+	return nil
 }
 
 func usage() {
@@ -309,7 +388,16 @@ usage: dshbench [-full] [-seed N] [-workers N] [-lp-workers N] [-quiet]
        dshbench -bench-diff [-bench-tolerance T] [-strict] <old.json> <new.json>
                                      compare two reports, exit 1 on ns/op
                                      regression (-strict also enforces the
-                                     new report's alloc/event/heap budgets)
+                                     new report's alloc/event/heap/encode
+                                     budgets)
+       dshbench -trace F [-seed N] capture <scenario>
+                                     record a packed .dshtrace of a named
+                                     scenario (fig11point, forwarding, incast)
+       dshbench replay <file.dshtrace>
+                                     re-run the captured scenario and verify
+                                     every departure is bit-identical; exit 1
+                                     with the first divergent frame otherwise
+       dshbench -version             print the build-info code version
 
 experiments:
   fig4     Broadcom chip buffer/headroom trends (table)

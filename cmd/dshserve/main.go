@@ -10,7 +10,9 @@
 //
 //	POST /jobs            submit a spec {"family":"fig11","seed":1,...}
 //	GET  /jobs/{key}      job status + sweep progress
-//	GET  /results/{key}   canonical result JSON
+//	GET  /results/{key}   canonical result JSON (?format=wire streams the
+//	                      packed .dshz twin; wire.DecodeResult restores the
+//	                      JSON byte for byte)
 //	GET  /healthz         liveness + drain flag
 //	GET  /metrics         Prometheus text (queue depth, cache hits, ...)
 //	GET  /families        registered experiment families
@@ -42,7 +44,12 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 1, "jobs executed concurrently (each job is a sweep that fans out on its own)")
 	queueCap := flag.Int("queue-cap", 256, "accepted-but-not-running backlog bound")
 	memCache := flag.Int("mem-cache", 128, "results held in the in-memory LRU front")
+	version := flag.Bool("version", false, "print the build-info code version (the one baked into result cache keys) and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(serve.CodeVersion())
+		return
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "dshserve: unexpected arguments %v\n", flag.Args())
 		flag.Usage()

@@ -1,0 +1,20 @@
+package benchkit
+
+import "testing"
+
+// TestWireGateForwardingTraceAllocFree is the CI wire-gate leg's alloc
+// check: the forwarding kernel with trace capture attached must stay at
+// zero heap allocations per op — the packed wire format exists so capture
+// costs encoding work, never garbage. Validate enforces the same budget on
+// committed BENCH_*.json reports; this test measures it live so a
+// regression fails in the PR that introduces it, not at the next baseline
+// refresh.
+func TestWireGateForwardingTraceAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed gate; run without -short")
+	}
+	r := testing.Benchmark(ForwardingTrace)
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Fatalf("ForwardingTrace allocates %d times per op, want 0 (%s)", a, r.MemString())
+	}
+}

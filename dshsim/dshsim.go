@@ -17,6 +17,7 @@ package dshsim
 import (
 	"fmt"
 
+	"dsh/internal/eport"
 	"dsh/internal/fault"
 	"dsh/internal/metrics"
 	"dsh/internal/packet"
@@ -260,6 +261,15 @@ type RunConfig struct {
 	// DeadlockConfirm the consecutive-positive-scan threshold (default 3).
 	DeadlockInterval units.Time
 	DeadlockConfirm  int
+	// Trace, when non-nil, streams every packet departure of the run to the
+	// tracer as a packed wire frame (see internal/wire): each port calls it
+	// at the instant a packet's last bit leaves, with a run-global port ID
+	// (hosts first in index order, then each switch's ports). Capture is a
+	// packet-fidelity, classic-engine knob: flow/hybrid fidelity and
+	// partitioned networks (LPWorkers > 0) reject it — on the parallel
+	// engine departures fire concurrently on worker goroutines, which would
+	// interleave the stream nondeterministically.
+	Trace eport.Tracer
 	// Fidelity selects the simulation granularity: FidelityPacket (default)
 	// simulates every packet; FidelityFlow fast-forwards every flow at fluid
 	// granularity (see internal/flowsim); FidelityHybrid re-simulates flows
@@ -336,6 +346,10 @@ func Run(net *Network, rc RunConfig) *Result {
 	}
 	st.ran = true
 
+	if rc.Trace != nil && rc.Fidelity != "" && rc.Fidelity != FidelityPacket {
+		panic(fmt.Sprintf("dshsim: trace capture is a packet-level knob (fidelity %q)", rc.Fidelity))
+	}
+
 	switch rc.Fidelity {
 	case "", FidelityPacket:
 		return runPacket(net, st, rc, nil)
@@ -355,6 +369,24 @@ func Run(net *Network, rc RunConfig) *Result {
 func runPacket(net *Network, st *runState, rc RunConfig, rateCap []units.BitRate) *Result {
 	if rc.LPWorkers > 0 && net.Par != nil {
 		net.Par.SetWorkers(rc.LPWorkers)
+	}
+	if rc.Trace != nil {
+		if net.Partitioned() {
+			panic("dshsim: trace capture requires the classic engine (build the network with LPWorkers == 0)")
+		}
+		// Global port IDs: hosts first in index order, then each switch's
+		// ports in switch/port order — the numbering DESIGN.md §14 pins.
+		id := int32(0)
+		for _, h := range net.Hosts {
+			h.Port().SetTracer(rc.Trace, id)
+			id++
+		}
+		for _, sw := range net.Switches {
+			for i := 0; i < sw.Ports(); i++ {
+				sw.Port(i).SetTracer(rc.Trace, id)
+				id++
+			}
+		}
 	}
 
 	res := &Result{FCT: metrics.NewFCTCollector()}

@@ -114,24 +114,26 @@ func Fig11Point(scheme Scheme, burstPct int, seed int64, lpWorkers int, stats *S
 	return fig11Run(scheme, burstPct, seed, lpWorkers, stats)
 }
 
-func fig11Run(scheme Scheme, burstPct int, seed int64, lpWorkers int, stats *SweepStats) units.Time {
-	const (
-		hosts  = 32
-		rate   = 100 * units.Gbps
-		buffer = 16 * units.MB
-	)
-	nc := NetworkConfig{Scheme: scheme, Transport: TransportNone, Buffer: buffer, Seed: seed, LPWorkers: lpWorkers}
-	net := NewSingleSwitch(nc, hosts, rate)
+// Fig. 11 topology constants, shared with the trace scenario registry
+// ("fig11point" in trace.go) so a capture drives the exact experiment.
+const (
+	fig11Hosts  = 32
+	fig11Rate   = 100 * units.Gbps
+	fig11Buffer = 16 * units.MB
+)
 
-	burstTotal := units.ByteSize(float64(buffer) * float64(burstPct) / 100)
+// fig11Schedule builds the Fig. 11 burst-point flow schedule: two
+// long-lived background flows into port 31 (they never finish inside the
+// horizon) plus a 16-way fan-in burst into port 30 at 1 ms, sized to
+// burstPct% of the switch buffer. The horizon covers the burst drain time
+// at line rate plus generous slack.
+func fig11Schedule(burstPct int) (specs []FlowSpec, horizon units.Time) {
+	burstTotal := units.ByteSize(float64(fig11Buffer) * float64(burstPct) / 100)
 	perSender := burstTotal / 16
 	burstAt := 1 * units.Millisecond
-	// Drain time of the full burst at line rate plus generous slack.
-	horizon := burstAt + 4*units.TransmissionTime(burstTotal, rate) + 4*units.Millisecond
+	horizon = burstAt + 4*units.TransmissionTime(burstTotal, fig11Rate) + 4*units.Millisecond
 
-	var specs []FlowSpec
-	// Background flows: ports 0 and 1 to port 31, long-lived (never finish).
-	bgSize := units.BytesInTime(2*horizon, rate)
+	bgSize := units.BytesInTime(2*horizon, fig11Rate)
 	specs = append(specs,
 		FlowSpec{ID: 1, Src: 0, Dst: 31, Size: bgSize, Start: 0, Class: 1, Tag: "background"},
 		FlowSpec{ID: 2, Src: 1, Dst: 31, Size: bgSize, Start: 0, Class: 1, Tag: "background"},
@@ -142,6 +144,14 @@ func fig11Run(scheme Scheme, burstPct int, seed int64, lpWorkers int, stats *Swe
 			Start: burstAt, Class: 0, Tag: "fanin",
 		})
 	}
+	return specs, horizon
+}
+
+func fig11Run(scheme Scheme, burstPct int, seed int64, lpWorkers int, stats *SweepStats) units.Time {
+	nc := NetworkConfig{Scheme: scheme, Transport: TransportNone, Buffer: fig11Buffer, Seed: seed, LPWorkers: lpWorkers}
+	net := NewSingleSwitch(nc, fig11Hosts, fig11Rate)
+
+	specs, horizon := fig11Schedule(burstPct)
 	res := Run(net, RunConfig{Specs: specs, Duration: horizon})
 	stats.note(res)
 	if res.Drops > 0 {

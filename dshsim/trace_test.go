@@ -1,0 +1,223 @@
+package dshsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsh/internal/wire"
+	"dsh/units"
+)
+
+// traceSeekBuffer is an in-memory io.WriteSeeker so captures get the
+// patched-on-close frame count without touching disk.
+type traceSeekBuffer struct {
+	b   []byte
+	pos int64
+}
+
+func (s *traceSeekBuffer) Write(p []byte) (int, error) {
+	if need := s.pos + int64(len(p)); need > int64(len(s.b)) {
+		s.b = append(s.b, make([]byte, need-int64(len(s.b)))...)
+	}
+	copy(s.b[s.pos:], p)
+	s.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (s *traceSeekBuffer) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		s.pos = off
+	case io.SeekCurrent:
+		s.pos += off
+	case io.SeekEnd:
+		s.pos = int64(len(s.b)) + off
+	}
+	return s.pos, nil
+}
+
+// captureForwarding captures the small two-host scenario into memory with a
+// patched frame count — the shared fixture for the replay tests.
+func captureForwarding(t *testing.T, seed int64) ([]byte, uint64) {
+	t.Helper()
+	var sb traceSeekBuffer
+	frames, err := CaptureTrace("forwarding", seed, &sb)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if frames == 0 {
+		t.Fatal("capture produced no frames")
+	}
+	return sb.b, frames
+}
+
+func TestTraceCaptureReplayIdentity(t *testing.T) {
+	raw, frames := captureForwarding(t, 42)
+	rep, err := ReplayTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("replay of a fresh capture diverged: %v", err)
+	}
+	if rep.Scenario != "forwarding" || rep.Seed != 42 {
+		t.Fatalf("replay header = %+v, want forwarding/42", rep)
+	}
+	if rep.Frames != frames {
+		t.Fatalf("replay verified %d frames, capture wrote %d", rep.Frames, frames)
+	}
+	// Capture is deterministic: a second capture with the same pair is
+	// byte-identical to the first.
+	again, _ := captureForwarding(t, 42)
+	if !bytes.Equal(raw, again) {
+		t.Fatal("two captures of the same (scenario, seed) differ")
+	}
+}
+
+func TestTraceCaptureStreamingWriter(t *testing.T) {
+	// A plain io.Writer (no Seek) leaves the streaming sentinel in the
+	// header; replay must still verify the full stream.
+	var buf bytes.Buffer
+	frames, err := CaptureTrace("forwarding", 7, &buf)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	rep, err := ReplayTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("replay of streaming capture: %v", err)
+	}
+	if rep.Frames != frames {
+		t.Fatalf("replay verified %d frames, want %d", rep.Frames, frames)
+	}
+}
+
+func TestTraceUnknownScenario(t *testing.T) {
+	if _, err := CaptureTrace("nope", 1, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "unknown trace scenario") {
+		t.Fatalf("capture of unknown scenario: got %v", err)
+	}
+	// A structurally valid trace naming a scenario this build doesn't know.
+	var sb traceSeekBuffer
+	tw, err := wire.NewTraceWriter(&sb, "martian", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayTrace(bytes.NewReader(sb.b)); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("replay of unknown scenario: got %v", err)
+	}
+}
+
+func TestTraceReplayTruncated(t *testing.T) {
+	raw, _ := captureForwarding(t, 42)
+	// Cut mid-stream at several depths: replay must fail with a positioned
+	// error (frame index + byte offset) and never panic. Cuts inside the
+	// file header are rejected by the reader before replay starts.
+	for _, cut := range []int{len(raw) - 1, len(raw) - wire.FrameLenSize, len(raw) / 2, len(raw) / 4} {
+		_, err := ReplayTrace(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d replayed clean", cut)
+		}
+		var pe *wire.PosError
+		if !errors.As(err, &pe) {
+			t.Fatalf("cut at %d: got %v (%T), want *wire.PosError", cut, err, err)
+		}
+		if pe.Offset < 0 || pe.Offset > int64(cut) {
+			t.Fatalf("cut at %d: offset %d out of range", cut, pe.Offset)
+		}
+	}
+}
+
+func TestTraceReplayCorrupt(t *testing.T) {
+	raw, frames := captureForwarding(t, 42)
+	// Flip one byte inside the last frame's packet record: the replay must
+	// report the exact frame index, not a vague failure — and not panic.
+	c := append([]byte(nil), raw...)
+	c[len(c)-1] ^= 0xFF
+	_, err := ReplayTrace(bytes.NewReader(c))
+	if err == nil {
+		t.Fatal("corrupt trace replayed clean")
+	}
+	var pe *wire.PosError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v (%T), want *wire.PosError", err, err)
+	}
+	if pe.Frame != frames-1 {
+		t.Fatalf("corrupt frame reported as %d, want %d", pe.Frame, frames-1)
+	}
+	// A trace with appended duplicate frames: replay ends first, and the
+	// leftover must be a positioned divergence, not silence.
+	longer := append([]byte(nil), raw...)
+	tailStart := len(raw) - 64
+	longer = append(longer, raw[tailStart:]...)
+	if _, err := ReplayTrace(bytes.NewReader(longer)); err == nil {
+		t.Fatal("trace with trailing junk replayed clean")
+	}
+}
+
+func TestTraceRequiresPacketFidelity(t *testing.T) {
+	var sb traceSeekBuffer
+	tw, err := wire.NewTraceWriter(&sb, "x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with Trace at flow fidelity did not panic")
+		}
+	}()
+	nc := NetworkConfig{Scheme: DSH, Transport: TransportNone, Buffer: 16 * units.MB, Seed: 1}
+	net := NewSingleSwitch(nc, 2, 100*units.Gbps)
+	Run(net, RunConfig{
+		Specs:    []FlowSpec{{ID: 1, Src: 0, Dst: 1, Size: units.MB}},
+		Duration: units.Millisecond,
+		Fidelity: FidelityFlow,
+		Trace:    tw,
+	})
+}
+
+// TestWireGateFig11Replay is the CI wire-gate leg's replay check: capture
+// the full-scale Fig. 11 burst point and verify it replays bit-identically.
+// The trace file lands in $WIRE_GATE_DIR when set (CI uploads it as an
+// artifact on failure) or a test temp dir otherwise.
+func TestWireGateFig11Replay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig11 capture/replay; run without -short")
+	}
+	dir := os.Getenv("WIRE_GATE_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fig11point.dshtrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := CaptureTrace("fig11point", 1, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rep, err := ReplayTrace(rf)
+	if err != nil {
+		t.Fatalf("fig11 replay diverged (trace kept at %s): %v", path, err)
+	}
+	if rep.Frames != frames {
+		t.Fatalf("replay verified %d of %d frames", rep.Frames, frames)
+	}
+	t.Logf("fig11point: %d frames bit-identical (%s)", frames, path)
+}

@@ -38,6 +38,16 @@ type Hooks interface {
 	PortIdle(id int)
 }
 
+// Tracer observes packet departures for trace capture (see internal/wire).
+// TraceDeparture fires once per packet, on the simulator goroutine, at the
+// instant the last bit leaves the port — the same moment as OnDeparture —
+// with the packet still owned by the port (implementations must not retain
+// it). A single Tracer is shared by every port of a run, disambiguated by
+// the port ID given to SetTracer.
+type Tracer interface {
+	TraceDeparture(port int32, at units.Time, pkt *packet.Packet)
+}
+
 // Config parameterises a port.
 type Config struct {
 	Sim  *sim.Simulator
@@ -197,6 +207,11 @@ type Port struct {
 	expiryAct  expiryAction
 	remoteAct  remoteDeliverAction
 
+	// tracer, when non-nil, receives every departure (trace capture);
+	// traceID is the run-global port ID it reports.
+	tracer  Tracer
+	traceID int32
+
 	// remote, when non-nil, marks this port's wire as crossing a logical-
 	// process boundary: deliveries go through the partitioned engine's
 	// mailbox instead of ch, and arriving packets are re-stamped onto the
@@ -294,6 +309,15 @@ func (p *Port) ConnectRemote(r *sim.Remote, pool *packet.Pool) {
 	p.remote = r
 	p.rpool = pool
 	p.remoteAct = remoteDeliverAction{p: p}
+}
+
+// SetTracer attaches (or, with nil, detaches) a departure tracer; id is
+// the run-global port ID reported with every frame. The tracer adds one
+// nil check to txDone when unset and must not be changed mid-run on a
+// port that has already transmitted (the trace would start mid-stream).
+func (p *Port) SetTracer(t Tracer, id int32) {
+	p.tracer = t
+	p.traceID = id
 }
 
 // Rate returns the link rate.
@@ -598,6 +622,9 @@ func (p *Port) txDone() {
 	p.tx = entry{}
 	p.transmitting = false
 	p.txBytes += e.pkt.Size
+	if p.tracer != nil {
+		p.tracer.TraceDeparture(p.traceID, p.cfg.Sim.Now(), e.pkt)
+	}
 	if p.cfg.Hooks != nil {
 		p.cfg.Hooks.PortDeparture(p.cfg.HookID, e.pkt, e.cookie)
 	} else if p.cfg.OnDeparture != nil {

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"dsh/dshsim"
+	"dsh/internal/wire"
+)
+
+// TestResultWireFormat pins the format=wire contract at the HTTP surface:
+// the same /results/{key} address serves both representations, the packed
+// body decodes to exactly the canonical JSON bytes, and an unknown format
+// is a 400, not a silent JSON fallback.
+func TestResultWireFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		RunFunc: func(sp Spec, _ string, _ func(dshsim.SweepProgress)) ([]byte, error) {
+			return stubResult(sp), nil
+		},
+	})
+	_, st := postJob(t, ts, `{"family":"fig11","seed":9}`)
+	waitStatus(t, ts, st.Key, string(jobDone))
+
+	get := func(suffix string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/results/" + st.Key + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	jresp, jbody := get("")
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("json GET: %d", jresp.StatusCode)
+	}
+
+	wresp, wbody := get("?format=wire")
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("wire GET: %d (%s)", wresp.StatusCode, wbody)
+	}
+	if ct := wresp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("wire Content-Type %q", ct)
+	}
+	if tier := wresp.Header.Get("X-DSH-Cache"); tier != TierMemory && tier != TierDisk {
+		t.Fatalf("wire served from tier %q", tier)
+	}
+	doc, err := wire.DecodeResult(wbody)
+	if err != nil {
+		t.Fatalf("wire body does not decode: %v", err)
+	}
+	if !bytes.Equal(doc, jbody) {
+		t.Fatalf("wire body decodes to %q, json endpoint served %q", doc, jbody)
+	}
+
+	if eresp, ebody := get("?format=json"); eresp.StatusCode != http.StatusOK || !bytes.Equal(ebody, jbody) {
+		t.Fatalf("explicit format=json: %d %q", eresp.StatusCode, ebody)
+	}
+	if eresp, _ := get("?format=msgpack"); eresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: %d, want 400", eresp.StatusCode)
+	}
+	if eresp, _ := get("x?format=wire"); eresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("wire GET of unknown key: %d, want 404", eresp.StatusCode)
+	}
+}

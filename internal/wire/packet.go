@@ -1,0 +1,349 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"dsh/internal/packet"
+	"dsh/units"
+)
+
+// Packet record layout v1 (little-endian, fixed offsets):
+//
+//	off  size  field
+//	0    1     Type        (packet.Data=1, Ack=2, CNP=3, PFC=4)
+//	1    1     Class       (0..7)
+//	2    1     flags       (bit0 Last, bit1 ECNCapable, bit2 ECNMarked,
+//	                        bit3 FC.PortLevel, bit4 FC.Pause)
+//	3    1     FC.Class    (0..7)
+//	4    1     INT count   (0..packet.MaxINTHops)
+//	5    3     reserved    (must be zero)
+//	8    4     Size        (uint32, wire bytes incl. headers)
+//	12   4     FlowID      (int32)
+//	16   4     Src         (int32 host ID)
+//	20   4     Dst         (int32 host ID)
+//	24   8     Seq         (int64 bytes)
+//	32   8     Payload     (int64 bytes)
+//	40   8     SentAt      (int64 picoseconds)
+//	48   32×N  INT hops    (per hop: QLen int64, TxBytes int64,
+//	                        TS int64 ps, Rate int64 bit/s)
+//
+// SrcSlot and DstSlot are deliberately not encoded: they are
+// generation-checked handles into one process's dense flow tables and are
+// meaningless outside it (a replayed or cross-validated packet resolves
+// flows by FlowID, the documented fallback path).
+const (
+	// PacketBaseSize is the fixed part of a packed packet record.
+	PacketBaseSize = 48
+	// INTHopSize is the packed size of one telemetry hop.
+	INTHopSize = 32
+	// MaxPacketRecord bounds a packed record (full telemetry stack).
+	MaxPacketRecord = PacketBaseSize + packet.MaxINTHops*INTHopSize
+)
+
+// Flag bits of the packed flags byte.
+const (
+	flagLast = 1 << iota
+	flagECNCapable
+	flagECNMarked
+	flagFCPortLevel
+	flagFCPause
+)
+
+// Packing and unpacking errors. All sentinels, so the hot path never
+// allocates an error value.
+var (
+	// ErrShortBuffer means the destination (pack) or source (unpack) buffer
+	// is smaller than the record requires.
+	ErrShortBuffer = errors.New("wire: buffer too small for packet record")
+	// ErrFieldRange means a packet field does not fit its packed width
+	// (e.g. a host ID beyond int32) or is outside its valid domain.
+	ErrFieldRange = errors.New("wire: packet field out of range")
+	// ErrCorrupt means the bytes violate the layout: bad type, class ≥ 8,
+	// INT count beyond MaxINTHops, or nonzero reserved bytes.
+	ErrCorrupt = errors.New("wire: corrupt packet record")
+)
+
+// PacketData is the decoded form of a packed packet record — the fields a
+// record carries, independent of the simulator's pooled *packet.Packet.
+// The INT stack is inline (no allocation on decode).
+type PacketData struct {
+	Type    packet.Type
+	Class   packet.Class
+	Last    bool
+	ECN     bool // ECNCapable
+	Marked  bool // ECNMarked
+	FC      packet.FlowControl
+	Size    units.ByteSize
+	FlowID  int
+	Src     int
+	Dst     int
+	Seq     units.ByteSize
+	Payload units.ByteSize
+	SentAt  units.Time
+	INTLen  int
+	INT     [packet.MaxINTHops]packet.INTHop
+}
+
+// fitsInt32 reports whether v survives an int32 round trip.
+func fitsInt32(v int64) bool { return v == int64(int32(v)) }
+
+// packHeader writes the fixed 48-byte base shared by PackPacket and
+// PackPacketData; the caller has already validated ranges and buffer size.
+func packHeader(b []byte, typ, cls, flags, fcCls, intLen uint8,
+	size uint32, flowID, src, dst int32, seq, payload, sentAt int64) {
+	b[0] = typ
+	b[1] = cls
+	b[2] = flags
+	b[3] = fcCls
+	b[4] = intLen
+	b[5], b[6], b[7] = 0, 0, 0
+	binary.LittleEndian.PutUint32(b[8:], size)
+	binary.LittleEndian.PutUint32(b[12:], uint32(flowID))
+	binary.LittleEndian.PutUint32(b[16:], uint32(src))
+	binary.LittleEndian.PutUint32(b[20:], uint32(dst))
+	binary.LittleEndian.PutUint64(b[24:], uint64(seq))
+	binary.LittleEndian.PutUint64(b[32:], uint64(payload))
+	binary.LittleEndian.PutUint64(b[40:], uint64(sentAt))
+}
+
+// packHop writes one telemetry hop at b.
+func packHop(b []byte, h *packet.INTHop) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(h.QLen))
+	binary.LittleEndian.PutUint64(b[8:], uint64(h.TxBytes))
+	binary.LittleEndian.PutUint64(b[16:], uint64(h.TS))
+	binary.LittleEndian.PutUint64(b[24:], uint64(h.Rate))
+}
+
+// packFlags folds the boolean fields into the flags byte.
+func packFlags(last, ecnCap, ecnMarked, fcPort, fcPause bool) uint8 {
+	var f uint8
+	if last {
+		f |= flagLast
+	}
+	if ecnCap {
+		f |= flagECNCapable
+	}
+	if ecnMarked {
+		f |= flagECNMarked
+	}
+	if fcPort {
+		f |= flagFCPortLevel
+	}
+	if fcPause {
+		f |= flagFCPause
+	}
+	return f
+}
+
+// PackPacket encodes pkt into b and returns the record length. It never
+// allocates; errors are sentinels. b needs PacketBaseSize +
+// len(pkt.INT)*INTHopSize bytes.
+func PackPacket(b []byte, pkt *packet.Packet) (int, error) {
+	if pkt.Type < packet.Data || pkt.Type > packet.PFC ||
+		pkt.Class >= packet.NumClasses || pkt.FC.Class >= packet.NumClasses ||
+		len(pkt.INT) > packet.MaxINTHops {
+		return 0, ErrFieldRange
+	}
+	n := PacketBaseSize + len(pkt.INT)*INTHopSize
+	if len(b) < n {
+		return 0, ErrShortBuffer
+	}
+	if pkt.Size < 0 || int64(pkt.Size) > int64(^uint32(0)) ||
+		!fitsInt32(int64(pkt.FlowID)) || !fitsInt32(int64(pkt.Src)) || !fitsInt32(int64(pkt.Dst)) {
+		return 0, ErrFieldRange
+	}
+	packHeader(b,
+		uint8(pkt.Type), uint8(pkt.Class),
+		packFlags(pkt.Last, pkt.ECNCapable, pkt.ECNMarked, pkt.FC.PortLevel, pkt.FC.Pause),
+		uint8(pkt.FC.Class), uint8(len(pkt.INT)),
+		uint32(pkt.Size), int32(pkt.FlowID), int32(pkt.Src), int32(pkt.Dst),
+		int64(pkt.Seq), int64(pkt.Payload), int64(pkt.SentAt))
+	for i := range pkt.INT {
+		packHop(b[PacketBaseSize+i*INTHopSize:], &pkt.INT[i])
+	}
+	return n, nil
+}
+
+// PackPacketData encodes a decoded record back into b — the inverse of
+// UnpackPacket, used by round-trip tests and external drivers that build
+// records without a simulator packet.
+func PackPacketData(b []byte, d *PacketData) (int, error) {
+	n := PacketBaseSize + d.INTLen*INTHopSize
+	if d.INTLen < 0 || d.INTLen > packet.MaxINTHops {
+		return 0, ErrFieldRange
+	}
+	if len(b) < n {
+		return 0, ErrShortBuffer
+	}
+	if d.Type < packet.Data || d.Type > packet.PFC ||
+		d.Class >= packet.NumClasses || d.FC.Class >= packet.NumClasses {
+		return 0, ErrFieldRange
+	}
+	if d.Size < 0 || int64(d.Size) > int64(^uint32(0)) ||
+		!fitsInt32(int64(d.FlowID)) || !fitsInt32(int64(d.Src)) || !fitsInt32(int64(d.Dst)) {
+		return 0, ErrFieldRange
+	}
+	packHeader(b,
+		uint8(d.Type), uint8(d.Class),
+		packFlags(d.Last, d.ECN, d.Marked, d.FC.PortLevel, d.FC.Pause),
+		uint8(d.FC.Class), uint8(d.INTLen),
+		uint32(d.Size), int32(d.FlowID), int32(d.Src), int32(d.Dst),
+		int64(d.Seq), int64(d.Payload), int64(d.SentAt))
+	for i := 0; i < d.INTLen; i++ {
+		packHop(b[PacketBaseSize+i*INTHopSize:], &d.INT[i])
+	}
+	return n, nil
+}
+
+// UnpackPacket decodes the record at the start of b into d and returns the
+// record length. Decoding is in place and allocation-free; every invariant
+// of the layout is checked, so feeding arbitrary bytes returns ErrCorrupt
+// or ErrShortBuffer, never a panic.
+func UnpackPacket(b []byte, d *PacketData) (int, error) {
+	if len(b) < PacketBaseSize {
+		return 0, ErrShortBuffer
+	}
+	typ, cls, flags, fcCls, intLen := b[0], b[1], b[2], b[3], b[4]
+	if packet.Type(typ) < packet.Data || packet.Type(typ) > packet.PFC {
+		return 0, ErrCorrupt
+	}
+	if cls >= packet.NumClasses || fcCls >= packet.NumClasses {
+		return 0, ErrCorrupt
+	}
+	if intLen > packet.MaxINTHops {
+		return 0, ErrCorrupt
+	}
+	if flags&^uint8(flagLast|flagECNCapable|flagECNMarked|flagFCPortLevel|flagFCPause) != 0 {
+		return 0, ErrCorrupt
+	}
+	if b[5] != 0 || b[6] != 0 || b[7] != 0 {
+		return 0, ErrCorrupt
+	}
+	n := PacketBaseSize + int(intLen)*INTHopSize
+	if len(b) < n {
+		return 0, ErrShortBuffer
+	}
+	d.Type = packet.Type(typ)
+	d.Class = packet.Class(cls)
+	d.Last = flags&flagLast != 0
+	d.ECN = flags&flagECNCapable != 0
+	d.Marked = flags&flagECNMarked != 0
+	d.FC = packet.FlowControl{
+		PortLevel: flags&flagFCPortLevel != 0,
+		Class:     packet.Class(fcCls),
+		Pause:     flags&flagFCPause != 0,
+	}
+	d.Size = units.ByteSize(binary.LittleEndian.Uint32(b[8:]))
+	d.FlowID = int(int32(binary.LittleEndian.Uint32(b[12:])))
+	d.Src = int(int32(binary.LittleEndian.Uint32(b[16:])))
+	d.Dst = int(int32(binary.LittleEndian.Uint32(b[20:])))
+	d.Seq = units.ByteSize(binary.LittleEndian.Uint64(b[24:]))
+	d.Payload = units.ByteSize(binary.LittleEndian.Uint64(b[32:]))
+	d.SentAt = units.Time(binary.LittleEndian.Uint64(b[40:]))
+	d.INTLen = int(intLen)
+	for i := 0; i < d.INTLen; i++ {
+		h := b[PacketBaseSize+i*INTHopSize:]
+		d.INT[i] = packet.INTHop{
+			QLen:    units.ByteSize(binary.LittleEndian.Uint64(h[0:])),
+			TxBytes: units.ByteSize(binary.LittleEndian.Uint64(h[8:])),
+			TS:      units.Time(binary.LittleEndian.Uint64(h[16:])),
+			Rate:    units.BitRate(binary.LittleEndian.Uint64(h[24:])),
+		}
+	}
+	for i := d.INTLen; i < packet.MaxINTHops; i++ {
+		d.INT[i] = packet.INTHop{}
+	}
+	return n, nil
+}
+
+// Trace frame layout v1: a uint32 length prefix (the payload size), then
+//
+//	off  size  field
+//	0    8     At     (int64 picoseconds — the departure instant)
+//	4→8  4     Port   (int32 global port ID, hosts first then switch ports)
+//	12   1     Kind   (FrameDeparture)
+//	13   3     reserved (must be zero)
+//	16   ...   packet record (layout above)
+const (
+	// FrameLenSize is the length prefix width.
+	FrameLenSize = 4
+	// FrameHeaderSize is the fixed header inside the payload.
+	FrameHeaderSize = 16
+	// FrameOverhead is the front headroom a packet record needs so the
+	// frame can be packed in place around it.
+	FrameOverhead = FrameLenSize + FrameHeaderSize
+	// MaxFrameSize bounds a complete frame (prefix + header + record).
+	MaxFrameSize = FrameOverhead + MaxPacketRecord
+)
+
+// Frame kinds.
+const (
+	// FrameDeparture records a packet's last bit leaving an egress port.
+	FrameDeparture = 1
+)
+
+// ErrHeadroom means PackInPlace was handed a record that does not leave
+// FrontHeadroom bytes in front of it.
+var ErrHeadroom = errors.New("wire: not enough front headroom for frame header")
+
+// FramePacker packs a trace frame in place around an already-packed packet
+// record, following the zerocopy headroom idiom: reserve FrontHeadroom
+// bytes, pack the record after them, then let PackInPlace write the length
+// prefix and frame header directly in front — one buffer, no copy.
+type FramePacker struct{}
+
+// FrontHeadroom is the space PackInPlace writes in front of the record.
+func (FramePacker) FrontHeadroom() int { return FrameOverhead }
+
+// RearHeadroom is the space PackInPlace writes after the record (none).
+func (FramePacker) RearHeadroom() int { return 0 }
+
+// PackInPlace wraps the packet record at b[recStart:recStart+recLen] into a
+// frame and returns the frame's start and length within b. It writes only
+// the FrontHeadroom bytes before recStart; the record bytes are untouched.
+func (FramePacker) PackInPlace(b []byte, at units.Time, port int32, kind uint8, recStart, recLen int) (frameStart, frameLen int, err error) {
+	if recStart < FrameOverhead {
+		return 0, 0, ErrHeadroom
+	}
+	if recLen < 0 || recStart+recLen > len(b) {
+		return 0, 0, ErrShortBuffer
+	}
+	frameStart = recStart - FrameOverhead
+	h := b[frameStart:]
+	binary.LittleEndian.PutUint32(h[0:], uint32(FrameHeaderSize+recLen))
+	binary.LittleEndian.PutUint64(h[4:], uint64(at))
+	binary.LittleEndian.PutUint32(h[12:], uint32(port))
+	h[16] = kind
+	h[17], h[18], h[19] = 0, 0, 0
+	return frameStart, FrameOverhead + recLen, nil
+}
+
+// FrameUnpacker decodes a frame in place: it parses the prefix and header
+// and returns the packet record's position within b, without copying it.
+type FrameUnpacker struct{}
+
+// UnpackInPlace parses the frame at b[frameStart:] and returns the
+// departure instant, port, kind, and the record's span within b. frameLen
+// bounds the frame (use len(b)-frameStart when unknown); the length prefix
+// is validated against it.
+func (FrameUnpacker) UnpackInPlace(b []byte, frameStart, frameLen int) (at units.Time, port int32, kind uint8, recStart, recLen int, err error) {
+	if frameStart < 0 || frameLen < FrameOverhead || frameStart+frameLen > len(b) {
+		return 0, 0, 0, 0, 0, ErrShortBuffer
+	}
+	h := b[frameStart:]
+	payload := int(binary.LittleEndian.Uint32(h[0:]))
+	if payload < FrameHeaderSize || FrameLenSize+payload > frameLen {
+		return 0, 0, 0, 0, 0, ErrCorrupt
+	}
+	at = units.Time(binary.LittleEndian.Uint64(h[4:]))
+	port = int32(binary.LittleEndian.Uint32(h[12:]))
+	kind = h[16]
+	if kind != FrameDeparture {
+		return 0, 0, 0, 0, 0, ErrCorrupt
+	}
+	if h[17] != 0 || h[18] != 0 || h[19] != 0 {
+		return 0, 0, 0, 0, 0, ErrCorrupt
+	}
+	return at, port, kind, frameStart + FrameOverhead, payload - FrameHeaderSize, nil
+}

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RunSeries is the typed per-run series document: the FCT distribution
+// (per-tag completion times and flow sizes, in record order) and the
+// pause-duration series (per-host cumulative paused time) of one run — the
+// data behind the paper's CDF and pause plots, and the payload that
+// Scalable-Tail-Latency-style analyses pull out of a sweep in bulk.
+//
+// The JSON field names are the kernel pair's reference encoding
+// (ResultEncodeJSON marshals this struct with the canonical two-space
+// indent); AppendRunSeries is the packed twin.
+type RunSeries struct {
+	// Label names the run (experiment family, point, scheme).
+	Label string `json:"label"`
+	// Tags are the workload tags, in first-interned order.
+	Tags []string `json:"tags"`
+	// FCTPs[i] are tag i's flow completion times in picoseconds, in
+	// completion order; SizeB[i] are the matching flow sizes in bytes.
+	FCTPs [][]int64 `json:"fct_ps"`
+	SizeB [][]int64 `json:"size_bytes"`
+	// PauseBinPs is the pause-series bin width (0 for per-host totals).
+	PauseBinPs int64 `json:"pause_bin_ps"`
+	// PausePs is the pause-duration series in picoseconds (one entry per
+	// host for totals, or per bin when PauseBinPs > 0).
+	PausePs []int64 `json:"pause_ps"`
+}
+
+// BlockRunSeries payload layout v1 (all integers non-negative, encoded as
+// uvarints; strings are uvarint-length-prefixed UTF-8):
+//
+//	label
+//	nTags, then per tag: name, nRecords, nRecords × FCT, nRecords × size
+//	pauseBin, nPause, nPause × pause
+//
+// ErrSeriesRange rejects negative values at encode time — durations and
+// sizes are non-negative by construction, and uvarints keep the common
+// case (microsecond-scale FCTs, kilobyte flows) to a third of the
+// fixed-width bytes.
+var ErrSeriesRange = fmt.Errorf("wire: negative value in run series")
+
+// AppendRunSeries appends the packed block (container header included) to
+// dst and returns the extended slice. With a pre-sized dst it allocates
+// nothing — the property the ResultEncodeWire kernel budgets at 0
+// allocs/op.
+func AppendRunSeries(dst []byte, s *RunSeries) ([]byte, error) {
+	if len(s.FCTPs) != len(s.Tags) || len(s.SizeB) != len(s.Tags) {
+		return dst, fmt.Errorf("wire: run series has %d tags but %d FCT / %d size columns",
+			len(s.Tags), len(s.FCTPs), len(s.SizeB))
+	}
+	if s.PauseBinPs < 0 {
+		return dst, ErrSeriesRange
+	}
+	dst = appendBlockHeader(dst, BlockRunSeries)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Label)))
+	dst = append(dst, s.Label...)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Tags)))
+	for i, tag := range s.Tags {
+		fct, size := s.FCTPs[i], s.SizeB[i]
+		if len(fct) != len(size) {
+			return dst, fmt.Errorf("wire: tag %q has %d FCTs but %d sizes", tag, len(fct), len(size))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(tag)))
+		dst = append(dst, tag...)
+		dst = binary.AppendUvarint(dst, uint64(len(fct)))
+		for _, v := range fct {
+			if v < 0 {
+				return dst, ErrSeriesRange
+			}
+			dst = binary.AppendUvarint(dst, uint64(v))
+		}
+		for _, v := range size {
+			if v < 0 {
+				return dst, ErrSeriesRange
+			}
+			dst = binary.AppendUvarint(dst, uint64(v))
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(s.PauseBinPs))
+	dst = binary.AppendUvarint(dst, uint64(len(s.PausePs)))
+	for _, v := range s.PausePs {
+		if v < 0 {
+			return dst, ErrSeriesRange
+		}
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst, nil
+}
+
+// DecodeRunSeries parses a BlockRunSeries block. Corrupt input returns an
+// error, never a panic.
+func DecodeRunSeries(blk []byte) (*RunSeries, error) {
+	kind, p, err := blockPayload(blk)
+	if err != nil {
+		return nil, err
+	}
+	if kind != BlockRunSeries {
+		return nil, fmt.Errorf("%w: kind %d is not a run series", ErrBlockKind, kind)
+	}
+	u := func() (uint64, error) {
+		v, w := binary.Uvarint(p)
+		if w <= 0 {
+			return 0, fmt.Errorf("%w: bad varint in run series", ErrCorrupt)
+		}
+		p = p[w:]
+		return v, nil
+	}
+	str := func() (string, error) {
+		n, err := u()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(p)) < n {
+			return "", fmt.Errorf("%w: string overruns run series", ErrCorrupt)
+		}
+		s := string(p[:n])
+		p = p[n:]
+		return s, nil
+	}
+	col := func() ([]int64, error) {
+		n, err := u()
+		if err != nil {
+			return nil, err
+		}
+		// A value takes ≥1 byte, so n > len(p) is corrupt, not a big alloc.
+		if n > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: column of %d values overruns run series", ErrCorrupt, n)
+		}
+		out := make([]int64, n)
+		for i := range out {
+			v, err := u()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int64(v)
+		}
+		return out, nil
+	}
+
+	s := &RunSeries{}
+	if s.Label, err = str(); err != nil {
+		return nil, err
+	}
+	nTags, err := u()
+	if err != nil {
+		return nil, err
+	}
+	if nTags > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: %d tags overrun run series", ErrCorrupt, nTags)
+	}
+	s.Tags = make([]string, 0, nTags)
+	s.FCTPs = make([][]int64, 0, nTags)
+	s.SizeB = make([][]int64, 0, nTags)
+	for i := uint64(0); i < nTags; i++ {
+		tag, err := str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if 2*n > uint64(len(p))+1 {
+			return nil, fmt.Errorf("%w: tag %q columns overrun run series", ErrCorrupt, tag)
+		}
+		fct := make([]int64, n)
+		size := make([]int64, n)
+		for j := range fct {
+			v, err := u()
+			if err != nil {
+				return nil, err
+			}
+			fct[j] = int64(v)
+		}
+		for j := range size {
+			v, err := u()
+			if err != nil {
+				return nil, err
+			}
+			size[j] = int64(v)
+		}
+		s.Tags = append(s.Tags, tag)
+		s.FCTPs = append(s.FCTPs, fct)
+		s.SizeB = append(s.SizeB, size)
+	}
+	bin, err := u()
+	if err != nil {
+		return nil, err
+	}
+	s.PauseBinPs = int64(bin)
+	if s.PausePs, err = col(); err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after run series", ErrCorrupt, len(p))
+	}
+	return s, nil
+}

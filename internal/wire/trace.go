@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dsh/internal/packet"
+	"dsh/units"
+)
+
+// .dshtrace container layout v1:
+//
+//	off  size  field
+//	0    8     magic "DSHTRACE"
+//	8    2     version (uint16, currently 1)
+//	10   2     reserved (must be zero)
+//	12   4     scenario length S (uint32)
+//	16   8     seed (int64)
+//	24   8     frame count (uint64; UnknownFrameCount while streaming,
+//	           patched in place on Close when the writer can seek)
+//	32   S     scenario name (UTF-8)
+//	32+S ...   frames (length-prefixed, see packet.go)
+//
+// The frame count is the truncation tripwire: a reader that hits EOF
+// before reading that many frames reports a positioned error instead of
+// silently ending. A trace written to a non-seekable sink keeps
+// UnknownFrameCount; truncation at a frame boundary is then undetectable
+// by construction, which is why CaptureTrace writes to files.
+const (
+	traceMagic       = "DSHTRACE"
+	traceHeaderFixed = 32
+	// UnknownFrameCount marks a streaming trace whose count was never
+	// patched (non-seekable sink, or the writer was not closed).
+	UnknownFrameCount = ^uint64(0)
+	// maxScenarioLen bounds the scenario-name field so a corrupt header
+	// cannot demand a multi-gigabyte read.
+	maxScenarioLen = 4096
+	// frameCountOff is the file offset of the frame-count field.
+	frameCountOff = 24
+)
+
+// PosError locates a trace defect: the zero-based index of the frame being
+// read and the absolute byte offset in the file where the problem starts.
+type PosError struct {
+	Frame  uint64
+	Offset int64
+	Err    error
+}
+
+// Error implements error.
+func (e *PosError) Error() string {
+	return fmt.Sprintf("wire: frame %d at byte offset %d: %v", e.Frame, e.Offset, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *PosError) Unwrap() error { return e.Err }
+
+// Trace-level errors (wrapped in PosError where a position is known).
+var (
+	// ErrTraceMagic means the file does not start with the DSHTRACE magic.
+	ErrTraceMagic = errors.New("wire: not a dshtrace file (bad magic)")
+	// ErrTraceVersion means the container version is not one this reader
+	// speaks.
+	ErrTraceVersion = errors.New("wire: unsupported dshtrace version")
+	// ErrTraceTruncated means the file ends mid-frame or before the frame
+	// count recorded in the header.
+	ErrTraceTruncated = errors.New("wire: trace truncated")
+	// ErrTraceTrailing means bytes follow the last frame of a
+	// complete-count trace.
+	ErrTraceTrailing = errors.New("wire: trailing data after final frame")
+	// ErrReplayDiverged means a live run's frame differs from the captured
+	// one — the bit-identity contract of replay is broken.
+	ErrReplayDiverged = errors.New("wire: replay diverged from captured trace")
+)
+
+// TraceWriter streams packet departures as packed frames. It implements
+// the eport tracer hook (TraceDeparture), packing each packet into a fixed
+// scratch buffer and handing the bytes to a buffered writer — zero
+// allocations per packet. Errors are sticky: the first failure stops
+// recording and is returned by Close.
+type TraceWriter struct {
+	bw     *bufio.Writer
+	raw    io.Writer
+	frames uint64
+	err    error
+	// scratch holds one frame: FrameOverhead bytes of front headroom, then
+	// the packed record (the FramePacker idiom).
+	scratch [MaxFrameSize]byte
+}
+
+// NewTraceWriter writes the header for a trace of the named scenario and
+// returns a writer ready to record departures. If w is an io.WriteSeeker
+// (a file), Close patches the header's frame count in place; otherwise the
+// count stays UnknownFrameCount.
+func NewTraceWriter(w io.Writer, scenario string, seed int64) (*TraceWriter, error) {
+	if len(scenario) == 0 || len(scenario) > maxScenarioLen {
+		return nil, fmt.Errorf("wire: scenario name length %d outside [1, %d]", len(scenario), maxScenarioLen)
+	}
+	tw := &TraceWriter{bw: bufio.NewWriterSize(w, 64<<10), raw: w}
+	var hdr [traceHeaderFixed]byte
+	copy(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint16(hdr[8:], TraceVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(scenario)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(seed))
+	binary.LittleEndian.PutUint64(hdr[frameCountOff:], UnknownFrameCount)
+	if _, err := tw.bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: trace header: %w", err)
+	}
+	if _, err := tw.bw.WriteString(scenario); err != nil {
+		return nil, fmt.Errorf("wire: trace header: %w", err)
+	}
+	return tw, nil
+}
+
+// TraceDeparture records one packet leaving a port. It is the eport tracer
+// hook: called once per departure on the simulator goroutine, in event
+// order, with the packet still owned by the port.
+func (tw *TraceWriter) TraceDeparture(port int32, at units.Time, pkt *packet.Packet) {
+	if tw.err != nil {
+		return
+	}
+	n, err := PackPacket(tw.scratch[FrameOverhead:], pkt)
+	if err != nil {
+		tw.err = err
+		return
+	}
+	start, flen, err := FramePacker{}.PackInPlace(tw.scratch[:], at, port, FrameDeparture, FrameOverhead, n)
+	if err != nil {
+		tw.err = err
+		return
+	}
+	if _, err := tw.bw.Write(tw.scratch[start : start+flen]); err != nil {
+		tw.err = err
+		return
+	}
+	tw.frames++
+}
+
+// Frames returns how many departures have been recorded so far.
+func (tw *TraceWriter) Frames() uint64 { return tw.frames }
+
+// Err returns the sticky recording error, if any.
+func (tw *TraceWriter) Err() error { return tw.err }
+
+// Close flushes the stream and, when the underlying writer can seek,
+// patches the header's frame count so readers can detect truncation. It
+// does not close the underlying writer.
+func (tw *TraceWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.bw.Flush(); err != nil {
+		tw.err = err
+		return err
+	}
+	ws, ok := tw.raw.(io.WriteSeeker)
+	if !ok {
+		return nil
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], tw.frames)
+	if _, err := ws.Seek(frameCountOff, io.SeekStart); err != nil {
+		tw.err = err
+		return err
+	}
+	if _, err := ws.Write(cnt[:]); err != nil {
+		tw.err = err
+		return err
+	}
+	if _, err := ws.Seek(0, io.SeekEnd); err != nil {
+		tw.err = err
+		return err
+	}
+	return nil
+}
+
+// TraceReader reads a .dshtrace stream frame by frame. Every defect —
+// truncation, corruption, trailing bytes — surfaces as a *PosError with
+// the frame index and byte offset; no input can make it panic.
+type TraceReader struct {
+	br       *bufio.Reader
+	scenario string
+	seed     int64
+	count    uint64 // header frame count (UnknownFrameCount = streaming)
+	read     uint64 // frames consumed so far
+	offset   int64  // absolute offset of the next unread byte
+	frameOff int64  // absolute offset of the most recent frame's prefix
+	buf      [MaxFrameSize]byte
+	frame    Frame
+}
+
+// Frame is one decoded trace frame. Raw aliases the reader's internal
+// buffer and is valid only until the next call to Next.
+type Frame struct {
+	At   units.Time
+	Port int32
+	Kind uint8
+	Pkt  PacketData
+	// Raw is the complete frame as written (length prefix included).
+	Raw []byte
+}
+
+// NewTraceReader parses the header and positions the reader at the first
+// frame.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	tr := &TraceReader{br: bufio.NewReaderSize(r, 64<<10)}
+	var hdr [traceHeaderFixed]byte
+	if _, err := io.ReadFull(tr.br, hdr[:]); err != nil {
+		return nil, &PosError{Frame: 0, Offset: 0, Err: fmt.Errorf("%w: header: %v", ErrTraceTruncated, err)}
+	}
+	if string(hdr[0:8]) != traceMagic {
+		return nil, ErrTraceMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:]); v != TraceVersion {
+		return nil, fmt.Errorf("%w: %d (reader speaks %d)", ErrTraceVersion, v, TraceVersion)
+	}
+	if hdr[10] != 0 || hdr[11] != 0 {
+		return nil, &PosError{Frame: 0, Offset: 10, Err: fmt.Errorf("%w: nonzero reserved header bytes", ErrCorrupt)}
+	}
+	slen := binary.LittleEndian.Uint32(hdr[12:])
+	if slen == 0 || slen > maxScenarioLen {
+		return nil, &PosError{Frame: 0, Offset: 12, Err: fmt.Errorf("%w: scenario length %d", ErrCorrupt, slen)}
+	}
+	tr.seed = int64(binary.LittleEndian.Uint64(hdr[16:]))
+	tr.count = binary.LittleEndian.Uint64(hdr[frameCountOff:])
+	name := make([]byte, slen)
+	if _, err := io.ReadFull(tr.br, name); err != nil {
+		return nil, &PosError{Frame: 0, Offset: traceHeaderFixed, Err: fmt.Errorf("%w: scenario name: %v", ErrTraceTruncated, err)}
+	}
+	tr.scenario = string(name)
+	tr.offset = traceHeaderFixed + int64(slen)
+	return tr, nil
+}
+
+// Scenario returns the captured scenario's registry name.
+func (tr *TraceReader) Scenario() string { return tr.scenario }
+
+// Seed returns the workload seed the scenario was captured with.
+func (tr *TraceReader) Seed() int64 { return tr.seed }
+
+// FrameCount returns the header's frame count (UnknownFrameCount for an
+// unpatched streaming trace).
+func (tr *TraceReader) FrameCount() uint64 { return tr.count }
+
+// FramesRead returns how many frames Next has yielded.
+func (tr *TraceReader) FramesRead() uint64 { return tr.read }
+
+// FrameOffset returns the absolute byte offset of the most recently read
+// frame's length prefix (replay verifiers use it to position divergence
+// errors).
+func (tr *TraceReader) FrameOffset() int64 { return tr.frameOff }
+
+// Next reads the next frame. It returns io.EOF exactly at a clean end of
+// trace: after the header-declared frame count (with nothing trailing), or
+// at a frame boundary when the count is unknown. Every other shape of
+// input is a *PosError.
+func (tr *TraceReader) Next() (*Frame, error) {
+	if tr.count != UnknownFrameCount && tr.read == tr.count {
+		// All declared frames consumed: anything further is trailing junk.
+		if _, err := tr.br.ReadByte(); err == nil {
+			return nil, &PosError{Frame: tr.read, Offset: tr.offset, Err: ErrTraceTrailing}
+		} else if err != io.EOF {
+			return nil, &PosError{Frame: tr.read, Offset: tr.offset, Err: err}
+		}
+		return nil, io.EOF
+	}
+	tr.frameOff = tr.offset
+	prefix := tr.buf[:FrameLenSize]
+	if _, err := io.ReadFull(tr.br, prefix); err != nil {
+		if err == io.EOF {
+			if tr.count == UnknownFrameCount {
+				return nil, io.EOF // clean boundary, count unknown
+			}
+			return nil, &PosError{Frame: tr.read, Offset: tr.offset,
+				Err: fmt.Errorf("%w: %d of %d frames present", ErrTraceTruncated, tr.read, tr.count)}
+		}
+		return nil, &PosError{Frame: tr.read, Offset: tr.offset,
+			Err: fmt.Errorf("%w: inside length prefix: %v", ErrTraceTruncated, err)}
+	}
+	payload := int(binary.LittleEndian.Uint32(prefix))
+	if payload < FrameHeaderSize || payload > FrameHeaderSize+MaxPacketRecord {
+		return nil, &PosError{Frame: tr.read, Offset: tr.offset,
+			Err: fmt.Errorf("%w: frame payload length %d outside [%d, %d]", ErrCorrupt, payload, FrameHeaderSize, FrameHeaderSize+MaxPacketRecord)}
+	}
+	body := tr.buf[FrameLenSize : FrameLenSize+payload]
+	if _, err := io.ReadFull(tr.br, body); err != nil {
+		return nil, &PosError{Frame: tr.read, Offset: tr.offset,
+			Err: fmt.Errorf("%w: inside frame body: %v", ErrTraceTruncated, err)}
+	}
+	f := &tr.frame
+	at, port, kind, recStart, recLen, err := FrameUnpacker{}.UnpackInPlace(tr.buf[:], 0, FrameLenSize+payload)
+	if err != nil {
+		return nil, &PosError{Frame: tr.read, Offset: tr.offset, Err: err}
+	}
+	n, err := UnpackPacket(tr.buf[recStart:recStart+recLen], &f.Pkt)
+	if err != nil {
+		return nil, &PosError{Frame: tr.read, Offset: tr.offset + int64(recStart), Err: err}
+	}
+	if n != recLen {
+		return nil, &PosError{Frame: tr.read, Offset: tr.offset + int64(recStart) + int64(n),
+			Err: fmt.Errorf("%w: %d bytes of padding after packet record", ErrCorrupt, recLen-n)}
+	}
+	f.At, f.Port, f.Kind = at, port, kind
+	f.Raw = tr.buf[:FrameLenSize+payload]
+	tr.read++
+	tr.offset += int64(FrameLenSize + payload)
+	return f, nil
+}
